@@ -1,0 +1,94 @@
+"""E8 — deadlocks are "always detected and reported at runtime" and
+constructive-but-cyclic programs execute correctly (paper §5.2).
+
+Measures the cost of deadlock detection (it is a by-product of the
+ordinary fixpoint, not a separate pass) and of running a correct cyclic
+circuit."""
+
+import pytest
+
+from repro import CausalityError, CompileOptions, ReactiveMachine, parse_module
+
+PARADOX = "module Paradox(out X) { if (!X.now) { emit X } }"
+
+CONSTRUCTIVE_CYCLE = """
+module Cyc(in I, out X, out Y) {
+  loop {
+    fork { if (Y.now) { emit X } } par { if (I.now) { emit Y } }
+    yield
+  }
+}
+"""
+
+
+def test_deadlock_detection_cost(benchmark):
+    machine = ReactiveMachine(
+        parse_module(PARADOX), options=CompileOptions(check_cycles=False)
+    )
+
+    def detect():
+        machine.reset()
+        try:
+            machine.react({})
+            return False
+        except CausalityError:
+            return True
+
+    assert benchmark(detect) is True
+
+
+def test_constructive_cycle_reaction(benchmark):
+    machine = ReactiveMachine(parse_module(CONSTRUCTIVE_CYCLE))
+    machine.react({})
+    result = benchmark(lambda: machine.react({"I": True}))
+    assert result.present("X") and result.present("Y")
+
+
+def test_static_warning_matches_dynamic_behaviour():
+    """Programs the static analysis flags may deadlock; unflagged ones
+    never do.  Checked over a small corpus."""
+    corpus_safe = [
+        "module A(in I, out O) { await I.now; emit O }",
+        "module B(in I, out O) { every (I.now) { emit O } }",
+        CONSTRUCTIVE_CYCLE,
+    ]
+    corpus_deadlocking = [PARADOX]
+
+    for src in corpus_deadlocking:
+        machine = ReactiveMachine(parse_module(src))
+        assert machine.compiled.warnings, src
+        with pytest.raises(CausalityError):
+            machine.react({})
+
+    for src in corpus_safe:
+        machine = ReactiveMachine(parse_module(src))
+        machine.react({})
+        machine.react({"I": True})  # no exception
+
+
+def test_detection_scales_with_circuit_size(benchmark):
+    """Embed the paradox deep inside a large program: detection must still
+    fire, within one ordinary reaction."""
+    big = """
+    module Big(in I, out X, out O) {
+      fork {
+        every (I.now) { emit O }
+      } par {
+        await I.now;
+        if (!X.now) { emit X }
+      }
+    }
+    """
+    machine = ReactiveMachine(parse_module(big))
+    machine.react({})
+
+    def run():
+        machine.reset()
+        machine.react({})
+        try:
+            machine.react({"I": True})
+            return False
+        except CausalityError:
+            return True
+
+    assert benchmark(run) is True

@@ -1,0 +1,50 @@
+"""E2 — circuit size is "most often linear" in source size (paper §5.3).
+
+Sweeps the linear program family and checks the net count grows linearly
+with the statement count (no hidden quadratic terms outside the
+reincarnation cases covered by E3)."""
+
+import pytest
+
+from repro import compile_module
+from workloads import fit_slope, linear_module, statement_count
+
+SIZES = (2, 4, 8, 16, 32, 64)
+
+
+@pytest.mark.parametrize("units", SIZES)
+def test_translate(benchmark, units):
+    """Benchmark the full compile pipeline per size; net counts reported
+    via the returned stats."""
+    module = linear_module(units)
+
+    def compile_and_measure():
+        return compile_module(module).stats()["nets"]
+
+    nets = benchmark(compile_and_measure)
+    assert nets > 0
+
+
+def test_net_count_linear_in_statements():
+    statements, nets = [], []
+    for units in SIZES:
+        module = linear_module(units)
+        statements.append(statement_count(module))
+        nets.append(compile_module(module).stats()["nets"])
+    slope, corr = fit_slope(statements, nets)
+    assert corr > 0.999, f"net count not linear: corr={corr}"
+    # nets-per-statement stays flat across a 32x size range
+    ratios = [n / s for n, s in zip(nets, statements)]
+    assert max(ratios) < min(ratios) * 1.5, f"nets/statement drifts: {ratios}"
+
+
+def test_connections_linear_too():
+    """The paper's run time bound is linear in *connections*; they must
+    scale linearly as well (avg fanin bounded)."""
+    statements, conns = [], []
+    for units in SIZES:
+        module = linear_module(units)
+        statements.append(statement_count(module))
+        conns.append(compile_module(module).stats()["connections"])
+    _slope, corr = fit_slope(statements, conns)
+    assert corr > 0.999

@@ -1,0 +1,60 @@
+"""E4 + E5 — memory footprints (paper §5.3).
+
+Paper figures: each net is a JavaScript object of 192-216 bytes; the
+Lisinopril program compiles to 399 nets ≈ 86 KB; a large Skini score
+reaches ~10,000 nets ≈ 2.1 MB.  Absolute bytes differ between V8 and
+CPython; the claims we reproduce are the *per-net linearity* of memory
+and the relative scale pillbox ≪ large score."""
+
+import pytest
+
+from repro import compile_module
+from repro.apps.pillbox import pillbox_table
+from repro.apps.skini import make_large_score
+from repro.apps.skini.score import generate_score_module
+
+
+def _pillbox_circuit():
+    table = pillbox_table()
+    return compile_module(table.get("Lisinopril"), table).circuit
+
+
+def _score_circuit(sections):
+    module, table = generate_score_module(
+        make_large_score(sections=sections, groups_per_section=5, patterns_per_group=6)
+    )
+    return compile_module(module, table).circuit
+
+
+def test_pillbox_footprint(benchmark):
+    circuit = _pillbox_circuit()
+    size = benchmark(circuit.memory_estimate)
+    nets = circuit.stats()["nets"]
+    # paper order of magnitude: hundreds of nets, tens of KB
+    assert 100 <= nets <= 2000, nets
+    assert size / nets < 1000, "per-net footprint should be a few hundred bytes"
+
+
+def test_large_score_footprint(benchmark):
+    circuit = _score_circuit(sections=60)
+    size = benchmark(circuit.memory_estimate)
+    nets = circuit.stats()["nets"]
+    assert nets > 3000, nets  # thousands of nets, like the paper's scores
+    pill = _pillbox_circuit()
+    # relative scale: the big score dwarfs the pillbox, memory scales along
+    ratio_nets = nets / pill.stats()["nets"]
+    ratio_bytes = size / pill.memory_estimate()
+    assert ratio_nets > 5
+    assert 0.3 < ratio_bytes / ratio_nets < 3.0, (
+        "memory should scale ~linearly with nets: "
+        f"nets x{ratio_nets:.1f} vs bytes x{ratio_bytes:.1f}"
+    )
+
+
+def test_bytes_per_net_stable_across_programs():
+    """The paper's per-net byte figure is program-independent; ours must
+    be too (within 2x across very different programs)."""
+    per_net = []
+    for circuit in (_pillbox_circuit(), _score_circuit(sections=20)):
+        per_net.append(circuit.memory_estimate() / circuit.stats()["nets"])
+    assert max(per_net) < 2 * min(per_net), per_net

@@ -1,0 +1,64 @@
+"""E6 — reaction time is ≈ linear in circuit size, and even the largest
+Skini score reacts far inside the 300 ms musical pulse (paper §5.3: "the
+HipHop.js reaction time never exceeds 15ms")."""
+
+import time
+
+import pytest
+
+from repro import ReactiveMachine, compile_module
+from repro.apps.skini import Audience, Performance, make_large_score
+from workloads import compiled_machine, drive_steady_state, fit_slope
+
+SIZES = (2, 8, 32, 64)
+
+
+@pytest.mark.parametrize("units", SIZES)
+def test_reaction(benchmark, units):
+    machine = compiled_machine(units)
+    inputs = drive_steady_state(machine)
+    benchmark(lambda: machine.react(inputs))
+
+
+def _median_reaction_ms(machine, inputs, rounds=30):
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        machine.react(inputs)
+        samples.append((time.perf_counter() - start) * 1000.0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_reaction_time_linear_in_circuit_size():
+    nets, times = [], []
+    for units in SIZES:
+        machine = compiled_machine(units)
+        inputs = drive_steady_state(machine)
+        nets.append(machine.stats()["nets"])
+        times.append(_median_reaction_ms(machine, inputs))
+    _slope, corr = fit_slope(nets, times)
+    assert corr > 0.95, f"reaction time not linear in nets: {list(zip(nets, times))}"
+
+
+def test_largest_score_within_pulse_budget(benchmark):
+    """The paper's headline: the largest available score reacts in <=15 ms
+    against a 300 ms pulse.  We build a comparable-scale score and require
+    the same two orders of safety margin shape (well under the budget)."""
+    score = make_large_score(sections=60, groups_per_section=5, patterns_per_group=6)
+    perf = Performance(score, Audience(size=0))
+    perf.step()
+    group = score.groups[0]
+    inputs = {"seconds": 1, "second": True}
+    benchmark(lambda: perf.machine.react(inputs))
+    median = _median_reaction_ms(perf.machine, inputs, rounds=20)
+    assert median < 300.0, f"pulse budget blown: {median:.2f} ms"
+    assert median < 50.0, f"expected a wide safety margin, got {median:.2f} ms"
+
+
+def test_live_performance_latency_distribution():
+    score = make_large_score(sections=20, groups_per_section=4)
+    perf = Performance(score, Audience(size=60, eagerness=0.5, seed=5))
+    perf.run(120)
+    assert perf.reaction_times_ms, "performance produced no reactions"
+    assert perf.max_reaction_ms() < 300.0

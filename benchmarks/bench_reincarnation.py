@@ -1,0 +1,57 @@
+"""E3 + ablation A2 — "quadratic expansion can occur in special cases,
+due to ... reincarnation" (paper §5.3).
+
+Nested loops with local signals force loop-body duplication; circuit size
+grows super-linearly (geometrically in the nesting depth).  The A2
+ablation compares the duplication policies: `never` stays linear but is
+*semantically wrong* for these programs; `auto` pays only where needed."""
+
+import pytest
+
+from repro import CompileOptions, compile_module
+from workloads import schizo_module
+
+DEPTHS = (0, 1, 2, 3, 4)
+
+
+def _nets(depth, policy="auto"):
+    return compile_module(
+        schizo_module(depth), options=CompileOptions(loop_duplication=policy)
+    ).stats()["nets"]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_compile_nested(benchmark, depth):
+    module = schizo_module(depth)
+    nets = benchmark(lambda: compile_module(module).stats()["nets"])
+    assert nets > 0
+
+
+def test_quadratic_growth_with_nesting():
+    sizes = [_nets(d) for d in DEPTHS]
+    # super-linear: each extra nesting level roughly doubles the circuit
+    growth = [b / a for a, b in zip(sizes, sizes[1:])]
+    assert all(g > 1.5 for g in growth[1:]), f"growth not super-linear: {sizes}"
+    # and clearly faster than the linear `never` policy
+    flat = [_nets(d, "never") for d in DEPTHS]
+    assert sizes[-1] > flat[-1] * 2, (sizes, flat)
+
+
+def test_ablation_policies_ordering():
+    """A2: never <= auto <= always at every depth."""
+    for depth in DEPTHS[:4]:
+        never = _nets(depth, "never")
+        auto = _nets(depth, "auto")
+        always = _nets(depth, "always")
+        assert never <= auto <= always, (depth, never, auto, always)
+
+
+def test_auto_only_pays_when_needed():
+    """A plain (non-schizophrenic) program compiles identically under
+    `auto` and `never` — duplication is targeted, not blanket."""
+    from workloads import linear_module
+
+    module = linear_module(8)
+    auto = compile_module(module, options=CompileOptions(loop_duplication="auto"))
+    never = compile_module(module, options=CompileOptions(loop_duplication="never"))
+    assert auto.stats()["nets"] == never.stats()["nets"]

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Regenerate the EXPERIMENTS.md numbers: one row per §5.3 claim.
+
+    python benchmarks/report.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from workloads import (  # noqa: E402
+    compiled_machine,
+    drive_steady_state,
+    fit_slope,
+    linear_module,
+    schizo_module,
+    statement_count,
+)
+
+from repro import CompileOptions, ReactiveMachine, compile_module  # noqa: E402
+from repro.apps.pillbox import pillbox_table  # noqa: E402
+from repro.apps.skini import Audience, Performance, make_large_score  # noqa: E402
+from repro.apps.skini.score import generate_score_module  # noqa: E402
+
+
+def median_ms(fn, rounds=20):
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1000)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def e1_e2():
+    print("E1/E2 - compile time and circuit size vs source size")
+    rows = []
+    for units in (4, 8, 16, 32, 64):
+        module = linear_module(units)
+        stmts = statement_count(module)
+        t = median_ms(lambda: compile_module(module), rounds=3)
+        nets = compile_module(module).stats()["nets"]
+        rows.append((stmts, t, nets))
+        print(f"  {stmts:>5} stmts: compile {t:8.1f} ms, {nets:>6} nets "
+              f"({nets/stmts:.1f} nets/stmt)")
+    slope_t, corr_t = fit_slope([r[0] for r in rows], [r[1] for r in rows])
+    slope_n, corr_n = fit_slope([r[0] for r in rows], [r[2] for r in rows])
+    print(f"  linear fit: time corr={corr_t:.4f}, nets corr={corr_n:.4f}")
+
+
+def e3():
+    print("\nE3 - reincarnation: nested schizophrenic loops (auto policy)")
+    for depth in range(5):
+        nets = compile_module(schizo_module(depth)).stats()["nets"]
+        flat = compile_module(
+            schizo_module(depth), options=CompileOptions(loop_duplication="never")
+        ).stats()["nets"]
+        print(f"  depth {depth}: {nets:>6} nets (linear/never policy: {flat})")
+
+
+def e4_e5():
+    print("\nE4 - Lisinopril footprint (paper: 399 nets, ~86 KB, 192-216 B/net)")
+    table = pillbox_table()
+    circuit = compile_module(table.get("Lisinopril"), table).circuit
+    nets = circuit.stats()["nets"]
+    size = circuit.memory_estimate()
+    print(f"  ours: {nets} nets, {size/1024:.1f} KB, {size/nets:.0f} B/net")
+
+    print("\nE5 - large Skini score (paper: ~10,000 nets, ~2.1 MB)")
+    module, mtable = generate_score_module(
+        make_large_score(sections=60, groups_per_section=5, patterns_per_group=6)
+    )
+    circuit = compile_module(module, mtable).circuit
+    nets = circuit.stats()["nets"]
+    size = circuit.memory_estimate()
+    print(f"  ours: {nets} nets, {size/1024/1024:.2f} MB, {size/nets:.0f} B/net")
+
+
+def e6():
+    print("\nE6 - reaction time vs circuit size (paper: linear; <=15ms for the"
+          " largest score vs a 300ms pulse)")
+    nets, times = [], []
+    for units in (2, 8, 32, 64):
+        machine = compiled_machine(units)
+        inputs = drive_steady_state(machine)
+        t = median_ms(lambda: machine.react(inputs))
+        nets.append(machine.stats()["nets"])
+        times.append(t)
+        print(f"  {machine.stats()['nets']:>6} nets: {t:7.3f} ms/reaction")
+    _s, corr = fit_slope(nets, times)
+    print(f"  linear fit corr={corr:.4f}")
+
+    score = make_large_score(sections=60, groups_per_section=5, patterns_per_group=6)
+    perf = Performance(score, Audience(size=0))
+    perf.step()
+    t = median_ms(lambda: perf.machine.react({"seconds": 1, "second": True}))
+    print(f"  largest score ({perf.machine.stats()['nets']} nets): "
+          f"{t:.2f} ms/reaction (budget 300 ms)")
+
+
+def e7():
+    print("\nE7 - v1 -> v2 evolution cost")
+    from repro.apps.login import CallbackLogin, CallbackLoginV2, login_table
+
+    table = login_table()
+    v1 = compile_module(table.get("Main"), table).stats()["nets"]
+    v2 = compile_module(table.get("MainV2"), table).stats()["nets"]
+    print(f"  HipHop: 0 of 5 v1 modules modified; 2 new (Freeze, MainV2); "
+          f"circuit {v1} -> {v2} nets")
+    print(f"  Callbacks: {len(CallbackLoginV2.MODIFIED_COMPONENTS)} of "
+          f"{len(CallbackLogin.COMPONENTS)} components modified; "
+          f"{len(CallbackLoginV2.NEW_COMPONENTS)} new")
+
+
+def a1():
+    print("\nA1 - optimizer ablation (nets raw -> optimized)")
+    from repro.apps.login import login_table
+
+    for name, (module, table) in {
+        "login-v1": (login_table().get("Main"), login_table()),
+        "pillbox": (pillbox_table().get("Lisinopril"), pillbox_table()),
+        "linear-32": (linear_module(32), None),
+    }.items():
+        raw = compile_module(module, table, CompileOptions(optimize=False)).stats()["nets"]
+        opt = compile_module(module, table, CompileOptions(optimize=True)).stats()["nets"]
+        print(f"  {name:<10} {raw:>6} -> {opt:>6}  (-{100*(raw-opt)/raw:.0f}%)")
+
+
+if __name__ == "__main__":
+    e1_e2()
+    e3()
+    e4_e5()
+    e6()
+    e7()
+    a1()

@@ -1,0 +1,84 @@
+"""Shared workload generators for the benchmark suite.
+
+The paper's evaluation (section 5.3) is parameterized by program size, so
+most benchmarks sweep a synthetic program family whose source size grows
+linearly, plus the paper's two real applications (pillbox, Skini scores).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro import CompileOptions, ReactiveMachine, compile_module, parse_module
+from repro.lang.ast import Module
+
+
+def linear_source(units: int) -> str:
+    """A program family whose statement count grows linearly in ``units``.
+
+    Each unit is a realistic orchestration fragment: an every-loop with a
+    parallel await/emit body — the bread and butter of HipHop programs.
+    """
+    blocks: List[str] = []
+    for i in range(units):
+        blocks.append(
+            f"""
+    fork {{
+      every (go.now) {{
+        fork {{ await a.now; emit o{i}() }} par {{ await b.now }}
+        emit o{i}(a.nowval)
+      }}
+    }} par {{"""
+        )
+    body = "\n".join(blocks) + "\n      halt\n" + ("    }\n" * units)
+    outs = ", ".join(f"out o{i} = 0" for i in range(units))
+    return f"module Linear{units}(in go, in a = 0, in b, {outs}) {{\n{body}\n}}"
+
+
+def linear_module(units: int) -> Module:
+    return parse_module(linear_source(units))
+
+
+def schizo_source(depth: int) -> str:
+    """Nested loops with local signals: the reincarnation-sensitive family
+    that exhibits the paper's quadratic special case."""
+    body = "signal S; fork { emit S } par { if (S.now) { emit O } } await I.now"
+    for _ in range(depth):
+        body = f"loop {{ signal S; {body}; await I.now }}"
+    return f"module Schizo{depth}(in I, out O) {{ loop {{ {body}; await I.now }} }}"
+
+
+def schizo_module(depth: int) -> Module:
+    return parse_module(schizo_source(depth))
+
+
+def compiled_machine(units: int, optimize: bool = True) -> ReactiveMachine:
+    compiled = compile_module(
+        linear_module(units), options=CompileOptions(optimize=optimize)
+    )
+    return ReactiveMachine(compiled)
+
+
+def drive_steady_state(machine: ReactiveMachine, warmup: int = 3) -> Dict[str, bool]:
+    machine.react({})
+    inputs = {"go": True, "a": 1, "b": True}
+    for _ in range(warmup):
+        machine.react(inputs)
+    return inputs
+
+
+def statement_count(module: Module) -> int:
+    return sum(1 for _ in module.body.walk())
+
+
+def fit_slope(xs: List[float], ys: List[float]) -> Tuple[float, float]:
+    """Least-squares slope and correlation coefficient."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    slope = cov / var_x if var_x else 0.0
+    corr = cov / (var_x * var_y) ** 0.5 if var_x and var_y else 0.0
+    return slope, corr

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The paper's login panel (sections 2 and 3), end to end.
+
+Runs the HipHop login against a simulated OAuth server and virtual DOM,
+then evolves to version 2.0 (quarantine after repeated failures) — with
+the version-1 modules reused completely unchanged.
+
+    python examples/login_demo.py
+"""
+
+from repro.apps.login import build_login_machine, build_login_v2_machine
+from repro.apps.login.gui import build_login_page
+from repro.host import AuthService, SimulatedLoop
+
+
+def show(page, loop, label):
+    print(f"  [{loop.now_ms/1000:6.1f}s] {label:<34} status={page.machine.connState.nowval}"
+          f"  time={page.machine.time.nowval}")
+
+
+def version_1():
+    print("=== Login v1 " + "=" * 50)
+    loop = SimulatedLoop()
+    service = AuthService(loop, {"alice": "secret"}, latency_ms=150)
+    machine = build_login_machine(loop, service, max_session_time=10)
+    page = build_login_page(machine)
+    machine.react({})
+
+    page.type_name("alice")
+    page.type_passwd("secret")
+    print(f"  login button enabled: {not page.login_button.attrs['disabled']}")
+
+    page.click_login()
+    show(page, loop, "clicked login")
+    loop.advance(200)
+    show(page, loop, "server replied")
+
+    loop.advance_seconds(3)
+    show(page, loop, "3s of session")
+
+    # a second login instantly restarts the session (killing its Timer)
+    page.click_login()
+    loop.advance(200)
+    show(page, loop, "re-login: fresh session clock")
+
+    page.click_logout()
+    show(page, loop, "clicked logout")
+    loop.advance_seconds(60)
+    show(page, loop, "1 min later (timer was freed)")
+
+    # session timeout
+    page.click_login()
+    loop.advance(200)
+    loop.advance_seconds(12)
+    show(page, loop, "session timed out")
+
+    print(f"  auth-server log: {[(t, n, ok) for t, n, ok in service.log]}")
+
+
+def version_2():
+    print("\n=== Login v2: quarantine (v1 modules reused unchanged) " + "=" * 8)
+    loop = SimulatedLoop()
+    service = AuthService(loop, {"alice": "secret"}, latency_ms=100)
+    machine = build_login_v2_machine(loop, service)
+    page = build_login_page(machine)
+    machine.react({})
+
+    page.type_name("alice")
+    page.type_passwd("WRONG")
+    for attempt in range(1, 4):
+        page.click_login()
+        loop.advance(150)
+        show(page, loop, f"failed attempt #{attempt}")
+
+    print(f"  login button enabled: {not page.login_button.attrs['disabled']}")
+    loop.advance_seconds(6)
+    show(page, loop, "quarantine expired")
+
+    page.type_passwd("secret")
+    page.click_login()
+    loop.advance(150)
+    show(page, loop, "correct password accepted")
+
+
+if __name__ == "__main__":
+    version_1()
+    version_2()

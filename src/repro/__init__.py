@@ -1,0 +1,70 @@
+"""hiphop-py: a Python reproduction of HipHop.js (Berry & Serrano, PLDI 2020).
+
+Synchronous reactive programming for Python: Esterel-style concurrency,
+signals and preemption, compiled to augmented boolean circuits and executed
+atomically by a reactive machine.
+
+Quickstart::
+
+    from repro import ReactiveMachine, parse_module
+
+    ABRO = parse_module('''
+        module ABRO(in A, in B, in R, out O) {
+          do {
+            fork { await A.now } par { await B.now }
+            emit O
+          } every (R.now)
+        }
+    ''')
+    machine = ReactiveMachine(ABRO)
+    machine.react({"A": True})
+    assert machine.react({"B": True}).present("O")
+"""
+
+from repro.errors import (
+    CausalityError,
+    CompileError,
+    HipHopError,
+    LinkError,
+    MachineError,
+    MultipleEmitError,
+    ParseError,
+    SignalError,
+    ValidationError,
+)
+from repro.lang import ast, dsl, expr
+from repro.lang.ast import Module, ModuleTable
+from repro.lang.signals import SignalDecl, VarDecl
+from repro.compiler import CompileOptions, compile_module
+from repro.runtime import ReactionResult, ReactiveMachine
+from repro.syntax import parse_expression, parse_module, parse_program, parse_statement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReactiveMachine",
+    "ReactionResult",
+    "Module",
+    "ModuleTable",
+    "SignalDecl",
+    "VarDecl",
+    "compile_module",
+    "CompileOptions",
+    "parse_module",
+    "parse_program",
+    "parse_statement",
+    "parse_expression",
+    "dsl",
+    "ast",
+    "expr",
+    "HipHopError",
+    "ParseError",
+    "ValidationError",
+    "LinkError",
+    "CompileError",
+    "CausalityError",
+    "SignalError",
+    "MultipleEmitError",
+    "MachineError",
+    "__version__",
+]

@@ -1,0 +1,1 @@
+"""The paper's three applications: login panel, medical pillbox, Skini."""

@@ -1,0 +1,31 @@
+"""The login panel of paper sections 2 and 3.
+
+Two implementations of the same specification:
+
+* :mod:`repro.apps.login.hiphop` — the HipHop version (modules Identity,
+  Authenticate, Session, Main; and the v2 evolution Freeze + MainV2 that
+  reuses Main *unchanged*);
+* :mod:`repro.apps.login.baseline` — the register-and-callback JavaScript
+  style version of section 2.1 (and its v2, which had to modify almost
+  every component — the paper's modularity argument, our experiment E7).
+
+:mod:`repro.apps.login.gui` wires either implementation to the virtual DOM
+as in section 2.4.
+"""
+
+from repro.apps.login.hiphop import (
+    MAX_SESSION_TIME,
+    build_login_machine,
+    build_login_v2_machine,
+    login_table,
+)
+from repro.apps.login.baseline import CallbackLogin, CallbackLoginV2
+
+__all__ = [
+    "build_login_machine",
+    "build_login_v2_machine",
+    "login_table",
+    "CallbackLogin",
+    "CallbackLoginV2",
+    "MAX_SESSION_TIME",
+]

@@ -1,0 +1,219 @@
+"""The JavaScript-style login implementation (paper section 2.1).
+
+A faithful Python transcription of the paper's register-and-callback
+version: global state variables (``R``-prefixed, as in the paper) mutated
+from event handlers, with manual cross-component calls (``authenticate``
+invokes ``logout`` itself, a request counter detects stale replies, timers
+are cleared by hand).
+
+This is the *baseline* the paper argues against; we keep it runnable so
+the test suite can check observational equivalence with the HipHop version
+(experiment E7) and the benchmark can quantify the v1 → v2 reengineering
+cost.
+
+``CallbackLoginV2`` adds the section-3 quarantine.  Note how many methods
+it has to override — in the HipHop version the original modules are reused
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.apps.login.hiphop import MAX_SESSION_TIME
+
+
+class CallbackLogin:
+    """Version 1: the paper's six registers and four functions."""
+
+    #: names of the components (methods) of the v1 implementation; v2
+    #: reports which of these it had to modify (experiment E7)
+    COMPONENTS = ("nameKeypress", "passwdKeypress", "authenticate", "startSession", "logout")
+
+    def __init__(self, loop: Any, auth_service: Any, max_session_time: int = MAX_SESSION_TIME):
+        self.loop = loop
+        self.auth_service = auth_service
+        self.max_session_time = max_session_time
+        # the paper's registers
+        self.Rname = ""
+        self.Rpasswd = ""
+        self.RenableLogin = False
+        self.RconnState = "disconn"
+        self.Rtime = 0
+        self.Rintv: Any = False
+        self.Rconn = 0
+        #: GUI update hook (the paper's update()); also used by the tests
+        self.listeners: List[Callable[[str, Any], None]] = []
+
+    # -- observation ------------------------------------------------------
+
+    def _update(self, what: str, value: Any) -> None:
+        for listener in self.listeners:
+            listener(what, value)
+
+    def _set_conn_state(self, state: str) -> None:
+        self.RconnState = state
+        self._update("connState", state)
+
+    def _set_enable_login(self, enabled: bool) -> None:
+        self.RenableLogin = enabled
+        self._update("enableLogin", enabled)
+
+    # -- component 1: identity handling -----------------------------------
+
+    def enableLoginButton(self) -> bool:
+        return len(self.Rname) >= 2 and len(self.Rpasswd) >= 2
+
+    def nameKeypress(self, value: str) -> None:
+        self.Rname = value
+        self._set_enable_login(self.enableLoginButton())
+
+    def passwdKeypress(self, value: str) -> None:
+        self.Rpasswd = value
+        self._set_enable_login(self.enableLoginButton())
+
+    # -- component 2: authentication ---------------------------------------
+
+    def authenticate(self) -> None:
+        conn = self.Rconn = self.Rconn + 1
+        # the paper's JS calls logout() here purely for cleanup; the state
+        # is immediately overwritten with "connecting", so no GUI update
+        # for the transient disconnection (matching the HipHop version,
+        # where the killed Session never reaches its final emit)
+        self._quiet_logout()
+        self._set_conn_state("connecting")
+
+        def reply(granted: bool) -> None:
+            # stale replies (another login started since) are dropped by
+            # hand, using the request counter — the bookkeeping HipHop's
+            # preemption makes unnecessary
+            if granted and conn == self.Rconn:
+                self.startSession()
+            elif conn == self.Rconn:
+                self._set_conn_state("error")
+
+        self.auth_service(self.Rname, self.Rpasswd).post().then(reply)
+
+    # -- component 3: sessions ----------------------------------------------
+
+    def startSession(self) -> None:
+        self._set_conn_state("connected")
+        self.Rtime = 0
+
+        def tick() -> None:
+            self.Rtime += 1
+            if self.Rtime > self.max_session_time:
+                self.logout()
+            self._update("time", self.Rtime)
+
+        self.Rintv = self.loop.set_interval(tick, 1000)
+        self._update("time", self.Rtime)
+
+    def logout(self) -> None:
+        was_connected = self.RconnState == "connected"
+        if was_connected:
+            self._set_conn_state("disconnected")
+        else:
+            self.RconnState = "disconnected"
+        self._clear_session_timer()
+
+    def _quiet_logout(self) -> None:
+        self.RconnState = "disconnected"
+        self._clear_session_timer()
+
+    def _clear_session_timer(self) -> None:
+        if self.Rintv:
+            self.loop.clear_interval(self.Rintv)
+            self.Rintv = False
+
+    # -- GUI entry points -----------------------------------------------------
+
+    def click_login(self) -> None:
+        if self.RenableLogin:
+            self.authenticate()
+
+    def click_logout(self) -> None:
+        self.logout()
+
+
+class CallbackLoginV2(CallbackLogin):
+    """Version 2 (quarantine): the reengineering the paper describes.
+
+    Almost every v1 component needs modification: ``authenticate`` must
+    count failures and honour the quarantine, both keypress handlers must
+    disable login while quarantined, and new registers plus a quarantine
+    timer are added.  ``MODIFIED_COMPONENTS`` records the damage for
+    experiment E7.
+    """
+
+    MODIFIED_COMPONENTS = ("nameKeypress", "passwdKeypress", "authenticate")
+    NEW_COMPONENTS = ("enterQuarantine", "leaveQuarantine")
+
+    def __init__(
+        self,
+        loop: Any,
+        auth_service: Any,
+        max_session_time: int = MAX_SESSION_TIME,
+        max_attempts: int = 3,
+        quarantine_seconds: int = 5,
+    ):
+        super().__init__(loop, auth_service, max_session_time)
+        self.max_attempts = max_attempts
+        self.quarantine_seconds = quarantine_seconds
+        self.Rfailures = 0
+        self.Rquarantine = False
+        self.Rqintv: Any = False
+
+    # modified: keypresses must not enable login during quarantine
+    def nameKeypress(self, value: str) -> None:
+        self.Rname = value
+        self._set_enable_login(not self.Rquarantine and self.enableLoginButton())
+
+    def passwdKeypress(self, value: str) -> None:
+        self.Rpasswd = value
+        self._set_enable_login(not self.Rquarantine and self.enableLoginButton())
+
+    # modified: count failures, ignore quarantined requests and replies
+    def authenticate(self) -> None:
+        if self.Rquarantine:
+            return
+        conn = self.Rconn = self.Rconn + 1
+        self.logout()
+        self._set_conn_state("connecting")
+
+        def reply(granted: bool) -> None:
+            if conn != self.Rconn or self.Rquarantine:
+                return
+            if granted:
+                self.Rfailures = 0
+                self.startSession()
+            else:
+                self.Rfailures += 1
+                self._set_conn_state("error")
+                if self.Rfailures >= self.max_attempts:
+                    self.enterQuarantine()
+
+        self.auth_service(self.Rname, self.Rpasswd).post().then(reply)
+
+    # new components
+    def enterQuarantine(self) -> None:
+        self.Rquarantine = True
+        self.Rfailures = 0
+        self._set_conn_state("quarantine")
+        self._set_enable_login(False)
+        elapsed = {"t": 0}
+
+        def tick() -> None:
+            elapsed["t"] += 1
+            if elapsed["t"] > self.quarantine_seconds:
+                self.leaveQuarantine()
+
+        self.Rqintv = self.loop.set_interval(tick, 1000)
+
+    def leaveQuarantine(self) -> None:
+        if self.Rqintv:
+            self.loop.clear_interval(self.Rqintv)
+            self.Rqintv = False
+        self.Rquarantine = False
+        self._set_conn_state("disconnected")
+        self._set_enable_login(self.enableLoginButton())

@@ -1,0 +1,62 @@
+"""The login web page of paper section 2.4, over the virtual DOM.
+
+Builds the same widget tree the paper's Hop.js service generates: two
+input boxes feeding ``name``/``passwd``, a login button whose enabledness
+tracks ``enableLogin``, a logout button, a connection-status react node and
+a session-time react node.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dom import Document
+
+
+class LoginPage:
+    """The assembled page; widgets are exposed as attributes for tests."""
+
+    def __init__(self, machine: Any):
+        self.machine = machine
+        doc = self.doc = Document(machine)
+
+        self.name_input = doc.input(
+            id="name", onkeyup=lambda ev: machine.react({"name": ev.value})
+        )
+        self.passwd_input = doc.input(
+            id="passwd", onkeyup=lambda ev: machine.react({"passwd": ev.value})
+        )
+        self.login_button = doc.button(
+            "login", id="login", onclick=lambda ev: machine.react({"login": True})
+        )
+        self.login_button.bind_enabled(lambda: bool(machine.enableLogin.nowval))
+        self.status = doc.react_node(lambda: f"status={machine.connState.nowval}")
+        self.logout_button = doc.button(
+            "logout", id="logout", onclick=lambda ev: machine.react({"logout": True})
+        )
+        self.logout_button.bind_class(lambda: machine.connState.nowval)
+        timebox = doc.div(id="timebox")
+        timebox.bind_class(lambda: machine.connState.nowval)
+        timebox.append("time: ")
+        self.time = doc.react_node(lambda: machine.time.nowval, parent=timebox)
+
+    # -- user gestures ------------------------------------------------------
+
+    def type_name(self, text: str) -> None:
+        self.name_input.keyup(text)
+
+    def type_passwd(self, text: str) -> None:
+        self.passwd_input.keyup(text)
+
+    def click_login(self) -> None:
+        self.login_button.click()
+
+    def click_logout(self) -> None:
+        self.logout_button.click()
+
+    def render(self) -> str:
+        return self.doc.render()
+
+
+def build_login_page(machine: Any) -> LoginPage:
+    return LoginPage(machine)

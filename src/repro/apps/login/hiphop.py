@@ -1,0 +1,179 @@
+"""The HipHop login (paper sections 2.2 and 3), in surface syntax.
+
+The module sources below follow the paper's listings line for line
+(modulo our concrete syntax).  The key property demonstrated in section 3
+is reproduced exactly: ``MainV2`` *runs the unmodified* ``Main`` and adds
+the quarantine behaviour purely compositionally — ``Freeze`` listens to
+``connected`` and raises ``freeze`` / ``restart``, and a ``weakabort``
+(strong abort would be a causality error, as the paper explains) wraps
+``Main``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.lang.ast import Module, ModuleTable
+from repro.runtime import ReactiveMachine
+from repro.stdlib import TIMER_SOURCE
+from repro.syntax import parse_program
+
+#: Seconds before a session is forcibly logged out (paper section 2.1).
+MAX_SESSION_TIME = 30
+
+#: Paper section 2.2.3 — enable login when both fields have >= 2 chars.
+IDENTITY_SOURCE = """
+module Identity(in name, in passwd, out enableLogin) {
+  do {
+    emit enableLogin(name.nowval.length >= 2 && passwd.nowval.length >= 2)
+  } every (name.now || passwd.now)
+}
+"""
+
+#: Paper section 2.2.4 — authenticate against the remote service; the
+#: async is killed (and the pending reply discarded) on a new login.
+AUTHENTICATE_SOURCE = """
+module Authenticate(in name, in passwd, out connState, out connected) {
+  emit connState("connecting");
+  async connected {
+    authenticateSvc(name.nowval, passwd.nowval).post().then(v => this.notify(v))
+  }
+}
+"""
+
+#: Paper section 2.2.5 — a session runs a Timer until logout or timeout.
+SESSION_SOURCE = """
+module Session(connState, time, logout) {
+  emit connState("connected");
+  abort (logout.now || time.nowval > MAX_SESSION_TIME) {
+    run Timer(...)
+  }
+  emit connState("disconnected")
+}
+"""
+
+#: Paper section 2.2.2 — the main orchestration.
+MAIN_SOURCE = """
+module Main(in name = "", in passwd = "", in login, in logout,
+            out enableLogin, out connState = "disconn",
+            inout time = 0, inout connected) {
+  fork {
+    run Identity(...)
+  } par {
+    every (login.now) {
+      run Authenticate(...);
+      if (connected.nowval) {
+        run Session(...)
+      } else {
+        emit connState("error")
+      }
+    }
+  }
+}
+"""
+
+#: Paper section 3 — quarantine watchdog.  `sig` counts authentication
+#: completions; `attempts` consecutive ones without a successful login
+#: (which resets the loop) freeze the system for `max` seconds.
+FREEZE_SOURCE = """
+module Freeze(var max, var attempts, sig, tmo, freeze, restart) {
+  do {
+    await count(attempts, sig.now);
+    emit freeze();
+    abort (tmo.nowval > max) {
+      run Timer(tmo as time, ...)
+    }
+    emit restart()
+  } every (sig.now && sig.nowval)
+}
+"""
+
+#: Paper section 3 — version 2.0 reusing Main unchanged.  At the freeze
+#: instant both Main (weakly aborted, so it still runs) and the quarantine
+#: branch emit connState; the declared combine function resolves the
+#: collision deterministically in favour of "quarantine".
+MAIN_V2_SOURCE = """
+module MainV2(tmo, out connState = "disconn" combine statePriority)
+    implements Main {
+  signal freeze, restart;
+  fork {
+    loop {
+      weakabort (freeze.now) { run Main(...) }
+      emit connState("quarantine");
+      emit enableLogin(false);
+      await restart.now;
+      emit connState("disconnected")
+    }
+  } par {
+    run Freeze(max=5, attempts=3, sig as connected, ...)
+  }
+}
+"""
+
+LOGIN_PROGRAM = "\n".join(
+    [
+        TIMER_SOURCE,
+        IDENTITY_SOURCE,
+        AUTHENTICATE_SOURCE,
+        SESSION_SOURCE,
+        MAIN_SOURCE,
+        FREEZE_SOURCE,
+        MAIN_V2_SOURCE,
+    ]
+)
+
+
+def login_table() -> ModuleTable:
+    """Parse the full login program (v1 + v2 modules)."""
+    return parse_program(LOGIN_PROGRAM)
+
+
+def state_priority(old: str, new: str) -> str:
+    """Combine for same-instant connState emissions: quarantine dominates
+    (order-independent, so microscheduling order cannot leak through)."""
+    if old == "quarantine" or new == "quarantine":
+        return "quarantine"
+    return new
+
+
+def _host_globals(loop: Any, auth_service: Any, max_session_time: int) -> Dict[str, Any]:
+    globals_ = dict(loop.bindings())
+    globals_["authenticateSvc"] = auth_service
+    globals_["MAX_SESSION_TIME"] = max_session_time
+    globals_["statePriority"] = state_priority
+    return globals_
+
+
+def build_login_machine(
+    loop: Any,
+    auth_service: Any,
+    max_session_time: int = MAX_SESSION_TIME,
+    table: Optional[ModuleTable] = None,
+) -> ReactiveMachine:
+    """Compile ``Main`` (v1) into a machine wired to the host loop and the
+    (simulated) authentication service."""
+    table = table or login_table()
+    machine = ReactiveMachine(
+        table.get("Main"),
+        modules=table,
+        host_globals=_host_globals(loop, auth_service, max_session_time),
+    )
+    machine.attach_loop(loop)
+    return machine
+
+
+def build_login_v2_machine(
+    loop: Any,
+    auth_service: Any,
+    max_session_time: int = MAX_SESSION_TIME,
+    table: Optional[ModuleTable] = None,
+) -> ReactiveMachine:
+    """Compile ``MainV2`` (quarantine) — Main is reused unmodified."""
+    table = table or login_table()
+    machine = ReactiveMachine(
+        table.get("MainV2"),
+        modules=table,
+        host_globals=_host_globals(loop, auth_service, max_session_time),
+    )
+    machine.attach_loop(loop)
+    return machine

@@ -1,0 +1,17 @@
+"""The Lisinopril prescription pillbox (paper section 4.1)."""
+
+from repro.apps.pillbox.app import (
+    DEFAULT_PRESCRIPTION,
+    PillboxApp,
+    Prescription,
+    build_pillbox_machine,
+    pillbox_table,
+)
+
+__all__ = [
+    "PillboxApp",
+    "Prescription",
+    "DEFAULT_PRESCRIPTION",
+    "build_pillbox_machine",
+    "pillbox_table",
+]

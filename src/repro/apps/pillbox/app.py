@@ -1,0 +1,237 @@
+"""The Lisinopril pillbox (paper section 4.1), modules and driver.
+
+The prescription, made temporally rigorous by the paper's doctor
+interview:
+
+* 1 tablet daily, preferred dose window 8PM–11PM;
+* at least ``min_dose_interval`` (8 h) between doses — ``Try`` presses
+  earlier raise ``TryTooCloseError``;
+* at most ``max_dose_interval`` (34 h) without a dose —
+  ``NoDoseSinceTooLongError`` is sustained until a dose goes through;
+* the ``Try`` button alarms when the previous dose is older than 30 h
+  (approaching the 34 h wall); ``Conf`` alarms when confirmation lags.
+
+The HipHop program is the paper's listing with one addition it leaves to
+"run Clock(...)": the dose-window signal is computed synchronously from
+the wall-clock ``Time`` input.  Time advances by a host driver emitting
+one ``Mn`` (minute) tick per simulated minute, so a month of treatment
+runs in milliseconds of test time.
+
+All user and system events are recorded in a dated log (design point 4 of
+the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.lang.ast import ModuleTable
+from repro.runtime import ReactiveMachine
+from repro.syntax import parse_program
+
+#: Paper section 4.1.2 — the smart Button: active until pressed; after
+#: ``d`` ticks without a press, raises its Alert on every further tick.
+BUTTON_SOURCE = """
+module Button(var d, in Tick, in B, out Active, out Alert) {
+  emit Active(true); emit Alert(false);
+  abort (B.now) {
+    await count(d, Tick.now);
+    do { emit Alert(true) } every (Tick.now)
+  }
+  emit Alert(false); emit Active(false)
+}
+"""
+
+#: The main module, following the paper's listing.  Phases per dose cycle:
+#: 1. wait for Try (alert if the wait approaches the 34h wall),
+#: 2. deliver, warn if outside the window, wait for Conf (alert if late),
+#: 3. refuse further Try presses for the 8h minimum interval.
+LISINOPRIL_SOURCE = """
+module Lisinopril(in Mn, in Try, in Conf, in Time = 0, in Reset,
+                  out TryActive, out TryAlert, out ConfActive, out ConfAlert,
+                  out DeliverDose, out RecordDose, out TryNotInWindowWarning,
+                  out NoDoseSinceTooLongError, out TryTooCloseError,
+                  out InWindow,
+                  var TryDelay, var ConfDelay,
+                  var MinDoseInterval, var MaxDoseInterval) {
+  do {
+    signal InDoseWindow;
+    fork {
+      // the Clock leg: derive the dose-window status each minute
+      do { emit InDoseWindow(inDoseWindow(Time.nowval));
+           emit InWindow(inDoseWindow(Time.nowval)) } every (Mn.now)
+    } par {
+      loop {
+        DoseOK: fork {
+          // phase 1: wait for Try, alert when last dose gets old
+          run Button(d=TryDelay, Tick as Mn, B as Try,
+                     Active as TryActive, Alert as TryAlert);
+          // Try received: deliver, but warn if out of the dose window
+          emit DeliverDose(Time.nowval);
+          if (!InDoseWindow.nowval) {
+            emit TryNotInWindowWarning()
+          }
+          // phase 2: wait for confirmation, keep alerting if late
+          run Button(d=ConfDelay, Tick as Mn, B as Conf,
+                     Active as ConfActive, Alert as ConfAlert);
+          // confirmation received
+          emit RecordDose(Time.nowval);
+          break DoseOK
+        } par {
+          // in phases 1-2: error if too long a wait since the last dose
+          await count(MaxDoseInterval - MinDoseInterval, Mn.now);
+          sustain NoDoseSinceTooLongError()
+        }
+        // phase 3: wait out the minimum interval, refusing Try presses
+        abort count(MinDoseInterval, Mn.now) {
+          every (Try.now) { emit TryTooCloseError() }
+        }
+      }
+    }
+  } every (Reset.now)
+}
+"""
+
+PILLBOX_PROGRAM = BUTTON_SOURCE + "\n" + LISINOPRIL_SOURCE
+
+
+def pillbox_table() -> ModuleTable:
+    return parse_program(PILLBOX_PROGRAM)
+
+
+@dataclass
+class Prescription:
+    """Timing parameters, in minutes (the paper's hour figures by default)."""
+
+    window_start: int = 20 * 60  # 8 PM, minutes since midnight
+    window_end: int = 23 * 60  # 11 PM
+    min_dose_interval: int = 8 * 60  # 8 h wall between doses
+    max_dose_interval: int = 34 * 60  # 34 h maximum without a dose
+    try_alarm_after: int = 30 * 60  # Try alert at 30 h without a dose
+    conf_alarm_after: int = 15  # Conf alert 15 min after Try
+
+    def in_window(self, time_minutes: int) -> bool:
+        minute_of_day = time_minutes % (24 * 60)
+        return self.window_start <= minute_of_day < self.window_end
+
+
+DEFAULT_PRESCRIPTION = Prescription()
+
+
+def build_pillbox_machine(
+    prescription: Prescription = DEFAULT_PRESCRIPTION,
+    table: Optional[ModuleTable] = None,
+) -> ReactiveMachine:
+    table = table or pillbox_table()
+    machine = ReactiveMachine(
+        table.get("Lisinopril"),
+        modules=table,
+        host_globals={
+            "inDoseWindow": prescription.in_window,
+            # phase 1 starts min_dose_interval after the previous dose, so
+            # the Button counts the *remaining* minutes to the 30h alarm
+            # (same convention as the paper's MaxDoseInterval -
+            # MinDoseInterval for the 34h error)
+            "TryDelay": prescription.try_alarm_after - prescription.min_dose_interval,
+            "ConfDelay": prescription.conf_alarm_after,
+            "MinDoseInterval": prescription.min_dose_interval,
+            "MaxDoseInterval": prescription.max_dose_interval,
+        },
+    )
+    return machine
+
+
+class PillboxApp:
+    """The machine plus a minute clock driver and the event log.
+
+    ``tick()`` advances one simulated minute; ``press_try`` /
+    ``press_conf`` are the two GUI buttons.  Every observable output is
+    logged with its wall time for later analysis (the paper's design
+    point 4).
+    """
+
+    LOGGED = (
+        "DeliverDose",
+        "RecordDose",
+        "TryNotInWindowWarning",
+        "NoDoseSinceTooLongError",
+        "TryTooCloseError",
+        "TryAlert",
+        "ConfAlert",
+    )
+
+    def __init__(
+        self,
+        prescription: Prescription = DEFAULT_PRESCRIPTION,
+        start_minute: int = 19 * 60,  # 7 PM on day zero
+    ):
+        self.prescription = prescription
+        self.machine = build_pillbox_machine(prescription)
+        self.time = start_minute
+        self.log: List[Tuple[int, str, Any]] = []
+        self.machine.react({"Time": self.time, "Mn": True})
+
+    # -- event capture ------------------------------------------------------
+
+    def _record(self, result) -> None:
+        for name in self.LOGGED:
+            if result.present(name):
+                value = result[name]
+                if name in ("TryAlert", "ConfAlert") and not value:
+                    continue  # only log raised alerts
+                self.log.append((self.time, name, value))
+
+    def _react(self, inputs: Dict[str, Any]):
+        result = self.machine.react(inputs)
+        self._record(result)
+        return result
+
+    # -- driver ---------------------------------------------------------------
+
+    def tick(self, minutes: int = 1) -> None:
+        """Advance the clock by ``minutes`` one-minute reactions."""
+        for _ in range(minutes):
+            self.time += 1
+            self._react({"Mn": True, "Time": self.time})
+
+    def tick_hours(self, hours: float) -> None:
+        self.tick(int(hours * 60))
+
+    def press_try(self):
+        return self._react({"Try": True, "Time": self.time})
+
+    def press_conf(self):
+        return self._react({"Conf": True, "Time": self.time})
+
+    def reset(self):
+        return self._react({"Reset": True, "Time": self.time})
+
+    # -- observations -------------------------------------------------------------
+
+    @property
+    def try_active(self) -> bool:
+        return bool(self.machine.TryActive.nowval)
+
+    @property
+    def conf_active(self) -> bool:
+        return bool(self.machine.ConfActive.nowval)
+
+    @property
+    def try_alert(self) -> bool:
+        return bool(self.machine.TryAlert.nowval)
+
+    @property
+    def conf_alert(self) -> bool:
+        return bool(self.machine.ConfAlert.nowval)
+
+    @property
+    def in_window(self) -> bool:
+        return self.prescription.in_window(self.time)
+
+    def doses(self) -> List[int]:
+        """Recorded (confirmed) dose times."""
+        return [t for t, name, _ in self.log if name == "RecordDose"]
+
+    def events(self, name: str) -> List[Tuple[int, Any]]:
+        return [(t, value) for t, n, value in self.log if n == name]

@@ -1,0 +1,37 @@
+"""Skini: massively interactive music (paper section 4.2)."""
+
+from repro.apps.skini.model import Group, Pattern, Synthesizer, Tank
+from repro.apps.skini.score import (
+    Activate,
+    AwaitSelections,
+    Fork,
+    RunTank,
+    Score,
+    Section,
+    Sequence,
+    Wait,
+    generate_score_module,
+    make_paper_score,
+    make_large_score,
+)
+from repro.apps.skini.performance import Audience, Performance
+
+__all__ = [
+    "Pattern",
+    "Group",
+    "Tank",
+    "Synthesizer",
+    "Score",
+    "Section",
+    "Sequence",
+    "Fork",
+    "Activate",
+    "AwaitSelections",
+    "RunTank",
+    "Wait",
+    "generate_score_module",
+    "make_paper_score",
+    "make_large_score",
+    "Audience",
+    "Performance",
+]

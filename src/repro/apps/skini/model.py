@@ -1,0 +1,131 @@
+"""Skini's musical objects: patterns, groups, tanks, and the synthesizer.
+
+A *pattern* is a short composed music element (1–2 s).  Patterns are
+offered to the audience through *groups* (each pattern selectable many
+times while the group is active) and *tanks* (each pattern selectable only
+once) — paper section 4.2.1.  The *synthesizer* is our DAW stand-in: it
+queues selected patterns on a beat-aligned timeline, which tests and
+benchmarks can inspect.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A short music segment."""
+
+    pid: str
+    instrument: str
+    beats: int = 2
+
+    def __str__(self) -> str:
+        return self.pid
+
+
+class Group:
+    """A named set of patterns, selectable repeatedly while active."""
+
+    def __init__(self, name: str, patterns: Sequence[Pattern]):
+        self.name = name
+        self.patterns = list(patterns)
+        self.active = False
+        self.selection_count = 0
+
+    @property
+    def input_signal(self) -> str:
+        return f"{self.name}In"
+
+    @property
+    def activate_signal(self) -> str:
+        return f"Activate{self.name}"
+
+    def selectable(self) -> List[Pattern]:
+        return list(self.patterns) if self.active else []
+
+    def select(self, pattern: Pattern) -> Pattern:
+        if not self.active:
+            raise ValueError(f"group {self.name} is not active")
+        self.selection_count += 1
+        return pattern
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "inactive"
+        return f"Group({self.name}, {len(self.patterns)} patterns, {state})"
+
+
+class Tank(Group):
+    """A group whose patterns are each selectable exactly once (implemented
+    in the paper as an array of one-pattern groups)."""
+
+    def __init__(self, name: str, patterns: Sequence[Pattern]):
+        super().__init__(name, patterns)
+        self.remaining = list(patterns)
+
+    def selectable(self) -> List[Pattern]:
+        return list(self.remaining) if self.active else []
+
+    def select(self, pattern: Pattern) -> Pattern:
+        if pattern not in self.remaining:
+            raise ValueError(f"pattern {pattern.pid} already consumed in tank {self.name}")
+        self.remaining.remove(pattern)
+        return super().select(pattern)
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.remaining
+
+    def refill(self) -> None:
+        self.remaining = list(self.patterns)
+
+    def __repr__(self) -> str:
+        return f"Tank({self.name}, {len(self.remaining)}/{len(self.patterns)} left)"
+
+
+@dataclass
+class QueuedPlay:
+    """One synthesizer timeline entry."""
+
+    time_s: float
+    pattern: Pattern
+    group: str
+
+
+class Synthesizer:
+    """The DAW stand-in: selected patterns are queued to play on the next
+    beat boundary.  Keeps the full timeline for inspection."""
+
+    def __init__(self, bpm: int = 120):
+        self.bpm = bpm
+        self.timeline: List[QueuedPlay] = []
+
+    @property
+    def beat_seconds(self) -> float:
+        return 60.0 / self.bpm
+
+    def queue(self, time_s: float, pattern: Pattern, group: str) -> QueuedPlay:
+        beat = self.beat_seconds
+        aligned = ((time_s // beat) + 1) * beat
+        play = QueuedPlay(aligned, pattern, group)
+        self.timeline.append(play)
+        return play
+
+    def played(self, group: Optional[str] = None) -> List[QueuedPlay]:
+        if group is None:
+            return list(self.timeline)
+        return [p for p in self.timeline if p.group == group]
+
+    def instruments(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for play in self.timeline:
+            counts[play.pattern.instrument] = counts.get(play.pattern.instrument, 0) + 1
+        return counts
+
+
+def make_patterns(instrument: str, count: int, beats: int = 2) -> List[Pattern]:
+    """Generate ``count`` patterns for one instrument."""
+    return [Pattern(f"{instrument}-{i}", instrument, beats) for i in range(count)]

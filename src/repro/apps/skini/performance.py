@@ -1,0 +1,133 @@
+"""Live performance engine: machine + audience + synthesizer.
+
+The paper's architecture: the HipHop score program orchestrates which
+groups/tanks are open; audience smartphones select patterns from open
+groups (each selection is both queued to the synthesizer by the Hop.js
+layer and fed back to HipHop as the group's input signal); the clock keeps
+the reactive program in sync with the beat.
+
+Our substitution for the real concert: a seeded :class:`Audience` that
+picks patterns at a configurable rate, and the
+:class:`~repro.apps.skini.model.Synthesizer` timeline stub.  Everything is
+deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime import ReactiveMachine
+from repro.apps.skini.model import Group, Pattern, Synthesizer, Tank
+from repro.apps.skini.score import Score, generate_score_module
+
+
+class Audience:
+    """A simulated audience: each simulated second, every listener picks a
+    pattern from some open group with probability ``eagerness``."""
+
+    def __init__(self, size: int = 20, eagerness: float = 0.25, seed: int = 2020):
+        self.size = size
+        self.eagerness = eagerness
+        self.random = random.Random(seed)
+        self.selections = 0
+
+    def pick(self, open_groups: List[Group]) -> List[Tuple[Group, Pattern]]:
+        """Selections made during one second of the show."""
+        picks: List[Tuple[Group, Pattern]] = []
+        candidates = [g for g in open_groups if g.selectable()]
+        if not candidates:
+            return picks
+        for _listener in range(self.size):
+            if self.random.random() >= self.eagerness:
+                continue
+            group = self.random.choice(candidates)
+            selectable = group.selectable()
+            if not selectable:
+                continue
+            pattern = self.random.choice(selectable)
+            picks.append((group, pattern))
+            self.selections += 1
+        return picks
+
+
+class Performance:
+    """Runs a score against an audience, second by second.
+
+    ``step()`` advances one simulated second: the clock reaction fires,
+    audience selections are applied (each one queues music *and* reacts
+    into the score program), and group activation outputs are folded into
+    the model objects.
+    """
+
+    def __init__(self, score: Score, audience: Optional[Audience] = None, bpm: int = 120):
+        self.score = score
+        self.audience = audience or Audience()
+        self.synth = Synthesizer(bpm)
+        module, table = generate_score_module(score)
+        self.machine = ReactiveMachine(
+            module,
+            modules=table,
+            host_globals={"andBool": lambda a, b: bool(a and b)},
+        )
+        self.seconds = 0
+        self.reaction_times_ms: List[float] = []
+        self._groups_by_activate = {g.activate_signal: g for g in score.groups}
+        self._react({})
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _react(self, inputs: Dict[str, Any]) -> None:
+        start = _time.perf_counter()
+        result = self.machine.react(inputs)
+        self.reaction_times_ms.append((_time.perf_counter() - start) * 1000.0)
+        for name, value in result.items():
+            group = self._groups_by_activate.get(name)
+            if group is not None:
+                group.active = bool(value)
+
+    # -- the show -------------------------------------------------------------
+
+    def open_groups(self) -> List[Group]:
+        return [g for g in self.score.groups if g.active]
+
+    def step(self) -> None:
+        """One simulated second of the performance."""
+        self.seconds += 1
+        self._react({"seconds": self.seconds, "second": True})
+        for group, pattern in self.audience.pick(self.open_groups()):
+            # two phones may race for the same tank pattern within the
+            # second; the server honours the first request only
+            if not group.active or pattern not in group.selectable():
+                continue
+            group.select(pattern)
+            self.synth.queue(float(self.seconds), pattern, group.name)
+            self._react({group.input_signal: pattern.pid})
+
+    def run(self, seconds: int) -> "Performance":
+        for _ in range(seconds):
+            if self.machine.terminated:
+                break
+            self.step()
+        return self
+
+    # -- observations ---------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.machine.terminated
+
+    def max_reaction_ms(self) -> float:
+        return max(self.reaction_times_ms) if self.reaction_times_ms else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "seconds": self.seconds,
+            "selections": self.audience.selections,
+            "plays": len(self.synth.timeline),
+            "instruments": self.synth.instruments(),
+            "max_reaction_ms": round(self.max_reaction_ms(), 3),
+            "nets": self.machine.stats()["nets"],
+            "finished": self.finished,
+        }

@@ -1,0 +1,272 @@
+"""Score programming: a Python score description compiled to HipHop.
+
+The composer describes the musical path — which groups and tanks open,
+in which order, gated by how many audience selections or how many seconds
+— and this module generates the HipHop score program (paper section
+4.2.2): groups map to activation signals, tanks to sub-modules that
+deactivate on exhaustion, sequencing to statement sequences, simultaneous
+groups to ``fork/par``, and timed sections to ``abort (seconds ...)``.
+
+The generated module follows the paper's excerpt::
+
+    abort (seconds.nowval === 20) {
+      emit ActivateCellos(true);
+      await count(5, CellosIn.now);
+      run Tank_Trombones(...);
+      fork { run Tank_Trumpets(...) } par { run Tank_Horns(...) }
+    }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.lang.ast import Module, ModuleTable
+from repro.apps.skini.model import Group, Pattern, Tank, make_patterns
+from repro.syntax import parse_program
+
+# ---------------------------------------------------------------------------
+# score description AST
+# ---------------------------------------------------------------------------
+
+
+class Step:
+    """One step of the composed musical path."""
+
+    def to_source(self, indent: str) -> str:
+        raise NotImplementedError
+
+    def groups_used(self) -> List[str]:
+        return []
+
+
+@dataclass
+class Activate(Step):
+    """Open (or close) a group for audience selection."""
+
+    group: str
+    on: bool = True
+
+    def to_source(self, indent: str) -> str:
+        flag = "true" if self.on else "false"
+        return f"{indent}emit Activate{self.group}({flag});"
+
+    def groups_used(self) -> List[str]:
+        return [self.group]
+
+
+@dataclass
+class AwaitSelections(Step):
+    """Block until the audience has picked ``count`` patterns of a group."""
+
+    count: int
+    group: str
+
+    def to_source(self, indent: str) -> str:
+        return f"{indent}await count({self.count}, {self.group}In.now);"
+
+    def groups_used(self) -> List[str]:
+        return [self.group]
+
+
+@dataclass
+class RunTank(Step):
+    """Play a tank through: activate it and wait until every pattern has
+    been selected once."""
+
+    tank: str
+
+    def to_source(self, indent: str) -> str:
+        return f"{indent}run Tank_{self.tank}(...);"
+
+    def groups_used(self) -> List[str]:
+        return [self.tank]
+
+
+@dataclass
+class Wait(Step):
+    """Let ``seconds`` elapse."""
+
+    seconds: int
+
+    def to_source(self, indent: str) -> str:
+        return f"{indent}await count({self.seconds}, second.now);"
+
+
+@dataclass
+class Sequence(Step):
+    steps: List[Step]
+
+    def to_source(self, indent: str) -> str:
+        return "\n".join(step.to_source(indent) for step in self.steps)
+
+    def groups_used(self) -> List[str]:
+        return [g for step in self.steps for g in step.groups_used()]
+
+
+@dataclass
+class Fork(Step):
+    """Simultaneous sub-paths (groups playing together)."""
+
+    branches: List[Step]
+
+    def to_source(self, indent: str) -> str:
+        blocks = []
+        for i, branch in enumerate(self.branches):
+            keyword = "fork" if i == 0 else "par"
+            blocks.append(
+                f"{indent}{keyword} {{\n{branch.to_source(indent + '  ')}\n{indent}}}"
+            )
+        return "\n".join(blocks)
+
+    def groups_used(self) -> List[str]:
+        return [g for branch in self.branches for g in branch.groups_used()]
+
+
+@dataclass
+class Section(Step):
+    """A hard-timed section: aborted when the wall clock passes
+    ``until_seconds`` (the paper's ``abort(seconds.nowval === 20)``)."""
+
+    until_seconds: int
+    body: Step
+
+    def to_source(self, indent: str) -> str:
+        inner = self.body.to_source(indent + "  ")
+        return (
+            f"{indent}abort (seconds.nowval >= {self.until_seconds}) {{\n"
+            f"{inner}\n{indent}}}"
+        )
+
+    def groups_used(self) -> List[str]:
+        return self.body.groups_used()
+
+
+@dataclass
+class Score:
+    """A complete composition: the ensemble and the musical path."""
+
+    name: str
+    groups: List[Group] = field(default_factory=list)
+    path: Optional[Step] = None
+
+    def group(self, name: str) -> Group:
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(name)
+
+    @property
+    def tanks(self) -> List[Tank]:
+        return [g for g in self.groups if isinstance(g, Tank)]
+
+
+# ---------------------------------------------------------------------------
+# code generation
+# ---------------------------------------------------------------------------
+
+
+def _tank_module_source(tank: Tank) -> str:
+    """A tank activates itself, terminates when each pattern was selected
+    once (enforced by the driver), then deactivates."""
+    return f"""
+module Tank_{tank.name}(in {tank.input_signal}, out {tank.activate_signal}) {{
+  emit {tank.activate_signal}(true);
+  await count({len(tank.patterns)}, {tank.input_signal}.now);
+  emit {tank.activate_signal}(false)
+}}
+"""
+
+
+def generate_score_source(score: Score) -> str:
+    """The full HipHop program text for a score (tank modules + main)."""
+    if score.path is None:
+        raise ValueError("score has no musical path")
+    parts: List[str] = []
+    for tank in score.tanks:
+        parts.append(_tank_module_source(tank))
+
+    inputs = ["in seconds = 0", "in second"]
+    outputs: List[str] = []
+    for group in score.groups:
+        inputs.append(f"in {group.input_signal}")
+        # a tank's own final deactivation can coincide with the score's
+        # curtain: combine same-instant activations with logical AND so
+        # deactivation wins deterministically
+        outputs.append(f"out {group.activate_signal} = false combine andBool")
+    interface = ", ".join(inputs + outputs)
+
+    body = score.path.to_source("  ")
+    deactivations = "\n".join(
+        f"  emit {group.activate_signal}(false);" for group in score.groups
+    )
+    parts.append(
+        f"module Score_{score.name}({interface}) {{\n"
+        f"{body}\n"
+        f"  // curtain: close everything at the end of the path\n"
+        f"{deactivations}\n"
+        f"}}\n"
+    )
+    return "\n".join(parts)
+
+
+def generate_score_module(score: Score) -> Tuple[Module, ModuleTable]:
+    """Parse the generated program; returns the main module and the table."""
+    table = parse_program(generate_score_source(score))
+    return table.get(f"Score_{score.name}"), table
+
+
+# ---------------------------------------------------------------------------
+# ready-made scores
+# ---------------------------------------------------------------------------
+
+
+def make_paper_score() -> Score:
+    """The section-4.2.2 excerpt: 20 s section — cellos open, after five
+    cello picks the trombone tank plays, then trumpets and horns together."""
+    cellos = Group("Cellos", make_patterns("cello", 8))
+    trombones = Tank("Trombones", make_patterns("trombone", 4))
+    trumpets = Tank("Trumpets", make_patterns("trumpet", 3))
+    horns = Tank("Horns", make_patterns("horn", 3))
+    path = Section(
+        20,
+        Sequence(
+            [
+                Activate("Cellos"),
+                AwaitSelections(5, "Cellos"),
+                RunTank("Trombones"),
+                Fork([RunTank("Trumpets"), RunTank("Horns")]),
+            ]
+        ),
+    )
+    return Score("Manca", [cellos, trombones, trumpets, horns], path)
+
+
+def make_large_score(sections: int = 20, groups_per_section: int = 4,
+                     patterns_per_group: int = 6) -> Score:
+    """A synthetic classical-scale score for the paper's §5.3 size
+    experiments (their largest scores reach ~10,000 nets)."""
+    groups: List[Group] = []
+    section_steps: List[Step] = []
+    for s in range(sections):
+        branches: List[Step] = []
+        for g in range(groups_per_section):
+            name = f"S{s}G{g}"
+            if g % 2 == 0:
+                group: Group = Group(name, make_patterns(f"inst{g}", patterns_per_group))
+                branches.append(
+                    Sequence(
+                        [
+                            Activate(name),
+                            AwaitSelections(patterns_per_group, name),
+                            Activate(name, on=False),
+                        ]
+                    )
+                )
+            else:
+                group = Tank(name, make_patterns(f"inst{g}", patterns_per_group))
+                branches.append(RunTank(name))
+            groups.append(group)
+        section_steps.append(Section((s + 1) * 30, Fork(branches)))
+    return Score("Large", groups, Sequence(section_steps))

@@ -1,0 +1,5 @@
+"""Compiler: macro expansion, circuit translation, optimization, analysis."""
+
+from repro.compiler.compile import compile_module, CompileOptions
+
+__all__ = ["compile_module", "CompileOptions"]

@@ -1,0 +1,104 @@
+"""Static circuit analyses.
+
+The main one is combinational-cycle detection: the paper notes (section
+2.2.2) that the compiler emits *a warning if a dynamic deadlock is
+possible*.  A synchronous deadlock can only arise from a cycle through
+combinational nets (gates, expression and action nets); registers break
+cycles.  Some cycles are harmless (they stabilize for every input — the
+constructive programs of section 5.2), so a cycle is a warning, not an
+error; actual deadlocks are detected at run time by the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.compiler.netlist import ACTION, EXPR, INPUT, REG, Circuit, Net
+
+
+def combinational_edges(circuit: Circuit) -> Dict[int, List[int]]:
+    """Adjacency: edges source → consumer through combinational nets."""
+    edges: Dict[int, List[int]] = {net.id: [] for net in circuit.nets}
+    for net in circuit.nets:
+        if net.kind in (REG, INPUT):
+            continue  # outputs known at reaction start; no incoming edges
+        for source, _neg in net.inputs:
+            edges[source].append(net.id)
+        for dep in net.deps:
+            edges[dep].append(net.id)
+    return edges
+
+
+def strongly_connected_components(circuit: Circuit) -> List[List[int]]:
+    """Iterative Tarjan over the combinational graph."""
+    edges = combinational_edges(circuit)
+    index_of: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = [0]
+
+    for root in edges:
+        if root in index_of:
+            continue
+        work = [(root, iter(edges[root]))]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index_of:
+                    index_of[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(edges[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def find_cycles(circuit: Circuit) -> List[List[Net]]:
+    """Return combinational cycles (SCCs of size > 1, or self-loops)."""
+    cycles: List[List[Net]] = []
+    for component in strongly_connected_components(circuit):
+        if len(component) > 1:
+            cycles.append([circuit.nets[i] for i in component])
+        else:
+            net = circuit.nets[component[0]]
+            if any(src == net.id for src, _ in net.inputs) or net.id in net.deps:
+                cycles.append([net])
+    return cycles
+
+
+def cycle_warnings(circuit: Circuit) -> List[str]:
+    """Human-readable warnings, one per potential causality cycle."""
+    warnings = []
+    for cycle in find_cycles(circuit):
+        members = ", ".join(net.describe() for net in cycle[:6])
+        suffix = ", ..." if len(cycle) > 6 else ""
+        warnings.append(
+            f"possible causality cycle through {len(cycle)} nets: {members}{suffix}"
+        )
+    return warnings

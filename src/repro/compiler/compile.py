@@ -1,0 +1,80 @@
+"""End-to-end compilation driver: expand → validate → translate → optimize.
+
+This is phase 2 and the front half of phase 3 of the paper's compiler; the
+back half (the reactive machine wrapping the circuit simulator) lives in
+:mod:`repro.runtime.machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.lang import ast as A
+from repro.lang import expr as E
+from repro.lang.validate import validate_module
+from repro.compiler.analysis import cycle_warnings
+from repro.compiler.expand import expand_module
+from repro.compiler.netlist import Circuit
+from repro.compiler.translate import AUTO, translate_module
+
+
+@dataclass
+class CompileOptions:
+    """Compilation knobs.
+
+    :param optimize: run the net-level optimizer (constant folding, gate
+        deduplication, dead-net sweeping).
+    :param loop_duplication: reincarnation policy — ``auto`` duplicates
+        loop bodies containing local signals/counters/execs, ``always`` and
+        ``never`` force the choice (ablation A2 of DESIGN.md).
+    :param check_cycles: run the static combinational-cycle analysis and
+        collect warnings (the paper's compile-time deadlock warning).
+    """
+
+    optimize: bool = True
+    loop_duplication: str = AUTO
+    check_cycles: bool = True
+
+
+@dataclass
+class CompiledModule:
+    """The output of compilation, consumed by the reactive machine."""
+
+    module: A.Module
+    circuit: Circuit
+    #: frame variables (module/instance vars) with optional initializers
+    frame_vars: List[Tuple[str, Optional[E.Expr]]] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    #: the expanded kernel body (useful for debugging and the interpreter)
+    kernel: Optional[A.Stmt] = None
+
+    def stats(self):
+        return self.circuit.stats()
+
+
+def compile_module(
+    module: A.Module,
+    modules: Optional[A.ModuleTable] = None,
+    options: Optional[CompileOptions] = None,
+) -> CompiledModule:
+    """Compile ``module`` to an augmented boolean circuit.
+
+    ``modules`` resolves ``run`` statements by name.  Raises
+    :class:`~repro.errors.ValidationError` /
+    :class:`~repro.errors.LinkError` on bad programs; potential causality
+    cycles are reported as warnings on the result.
+    """
+    options = options or CompileOptions()
+    kernel, frame_vars = expand_module(module, modules)
+    validate_module(module, kernel)
+    circuit = translate_module(module, kernel, options.loop_duplication)
+    circuit.frame_vars = list(frame_vars)
+    if options.optimize:
+        from repro.compiler.optimize import optimize_circuit
+
+        circuit = optimize_circuit(circuit)
+    warnings: List[str] = []
+    if options.check_cycles:
+        warnings = cycle_warnings(circuit)
+    return CompiledModule(module, circuit, list(frame_vars), warnings, kernel)

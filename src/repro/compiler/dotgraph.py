@@ -1,0 +1,88 @@
+"""GraphViz export of augmented boolean circuits.
+
+Renders the compiled net graph for inspection — gates, registers, the
+augmented expression/action nets with their data-dependency edges (drawn
+dashed), and the machine interface.  Handy for understanding how a
+statement compiles and for debugging causality cycles (pass the nets of a
+:class:`~repro.errors.CausalityError` as ``highlight``).
+
+::
+
+    from repro.compiler.dotgraph import circuit_to_dot
+    print(circuit_to_dot(machine.compiled.circuit))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.compiler.netlist import ACTION, AND, EXPR, INPUT, OR, REG, Circuit
+
+_SHAPES = {
+    AND: ("box", "#dbeafe"),
+    OR: ("ellipse", "#dcfce7"),
+    REG: ("box3d", "#fef9c3"),
+    INPUT: ("invhouse", "#fae8ff"),
+    EXPR: ("diamond", "#ffedd5"),
+    ACTION: ("component", "#fee2e2"),
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def circuit_to_dot(
+    circuit: Circuit,
+    highlight: Iterable[int] = (),
+    include_labels: bool = True,
+    max_nets: Optional[int] = None,
+) -> str:
+    """Render ``circuit`` as a GraphViz ``digraph`` source string.
+
+    :param highlight: net ids drawn with a red border (e.g. an unresolved
+        causality cycle).
+    :param max_nets: truncate very large circuits (None = no limit).
+    """
+    hot: Set[int] = set(highlight)
+    lines = [
+        f'digraph "{_escape(circuit.name)}" {{',
+        "  rankdir=LR;",
+        '  node [fontname="monospace", fontsize=9, style=filled];',
+    ]
+    nets = circuit.nets if max_nets is None else circuit.nets[:max_nets]
+    shown = {net.id for net in nets}
+
+    for net in nets:
+        shape, fill = _SHAPES.get(net.kind, ("ellipse", "#eeeeee"))
+        label = f"#{net.id} {net.kind}"
+        if include_labels and net.label:
+            label += f"\\n{_escape(net.label)}"
+        extra = ', color="red", penwidth=2' if net.id in hot else ""
+        lines.append(f'  n{net.id} [shape={shape}, fillcolor="{fill}", label="{label}"{extra}];')
+
+    for net in nets:
+        for src, negated in net.inputs:
+            if src not in shown:
+                continue
+            style = ' [arrowhead=odot, color="#7f1d1d"]' if negated else ""
+            lines.append(f"  n{src} -> n{net.id}{style};")
+        for dep in net.deps:
+            if dep in shown:
+                lines.append(f'  n{dep} -> n{net.id} [style=dashed, color="#64748b"];')
+
+    if max_nets is not None and len(circuit.nets) > max_nets:
+        lines.append(
+            f'  truncated [shape=note, label="... {len(circuit.nets) - max_nets} more nets"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def statement_to_dot(source: str) -> str:
+    """Compile a one-module source string and render its circuit."""
+    from repro.compiler.compile import compile_module
+    from repro.syntax import parse_module
+
+    compiled = compile_module(parse_module(source))
+    return circuit_to_dot(compiled.circuit)

@@ -1,0 +1,12 @@
+"""Minimal virtual DOM with reactive nodes.
+
+The paper's GUIs are Hop.js HTML with ``<react>`` nodes that re-render when
+the reactive machine's output signals change, plus event handlers that call
+``M.react({...})``.  This package reproduces that surface headlessly: a
+small element tree, ``ReactNode`` contents recomputed after every machine
+reaction, and event simulation (``click``, ``keyup``) for tests.
+"""
+
+from repro.dom.nodes import Document, Element, ReactNode, Text
+
+__all__ = ["Document", "Element", "ReactNode", "Text"]

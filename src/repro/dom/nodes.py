@@ -1,0 +1,219 @@
+"""Virtual DOM nodes and the reactive document.
+
+Usage mirrors the paper's login page (section 2.4)::
+
+    doc = Document(machine)
+    name = doc.input(onkeyup=lambda ev: machine.react({"name": ev.value}))
+    login = doc.button("login", onclick=lambda ev: machine.react({"login": True}))
+    login.bind_enabled(lambda: machine.enableLogin.nowval)
+    status = doc.react_node(lambda: machine.connState.nowval)
+
+After every machine reaction the document refreshes its react nodes and
+bound attributes — the Hop.js ``<react>`` tags.  ``doc.render()`` returns a
+plain-text rendering for assertions and demos.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Union
+
+
+class Event:
+    """A GUI event delivered to handlers (``ev.value`` for inputs)."""
+
+    def __init__(self, kind: str, target: "Element", value: Any = None):
+        self.kind = kind
+        self.target = target
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Event({self.kind}, value={self.value!r})"
+
+
+class Node:
+    """Base DOM node."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def refresh(self) -> None:
+        """Recompute reactive content (no-op for static nodes)."""
+
+    def walk(self):
+        yield self
+
+
+class Text(Node):
+    def __init__(self, text: str):
+        self.text = text
+
+    def render(self) -> str:
+        return self.text
+
+
+class ReactNode(Node):
+    """A ``<react>`` node: content recomputed from a thunk after every
+    machine reaction."""
+
+    def __init__(self, thunk: Callable[[], Any]):
+        self.thunk = thunk
+        self.content: str = ""
+        self.refresh()
+
+    def refresh(self) -> None:
+        value = self.thunk()
+        self.content = "" if value is None else str(value)
+
+    def render(self) -> str:
+        return self.content
+
+
+class Element(Node):
+    """An element with attributes, children, listeners and optional
+    reactive attribute bindings."""
+
+    _ids = itertools.count()
+
+    def __init__(self, tag: str, **attrs: Any):
+        self.tag = tag
+        self.id = attrs.pop("id", f"{tag}#{next(Element._ids)}")
+        self.attrs: Dict[str, Any] = {}
+        self.children: List[Node] = []
+        self.listeners: Dict[str, List[Callable[[Event], None]]] = {}
+        #: attribute name -> thunk recomputed on refresh
+        self.bindings: Dict[str, Callable[[], Any]] = {}
+        self.value: Any = ""
+        for key, value in attrs.items():
+            if key.startswith("on") and callable(value):
+                self.listeners.setdefault(key[2:], []).append(value)
+            else:
+                self.attrs[key] = value
+
+    # -- tree -------------------------------------------------------------
+
+    def append(self, child: Union[Node, str]) -> Node:
+        if isinstance(child, str):
+            child = Text(child)
+        self.children.append(child)
+        return child
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    # -- events ----------------------------------------------------------------
+
+    def add_listener(self, kind: str, handler: Callable[[Event], None]) -> None:
+        self.listeners.setdefault(kind, []).append(handler)
+
+    def dispatch(self, kind: str, value: Any = None) -> Event:
+        event = Event(kind, self, value)
+        if kind == "keyup":
+            self.value = value
+        if self.attrs.get("disabled") and kind == "click":
+            return event  # disabled controls swallow clicks
+        for handler in self.listeners.get(kind, ()):  # snapshot order
+            handler(event)
+        return event
+
+    def click(self) -> Event:
+        return self.dispatch("click")
+
+    def keyup(self, value: str) -> Event:
+        """Simulate typing: sets ``self.value`` and fires ``keyup``."""
+        return self.dispatch("keyup", value)
+
+    # -- reactive attributes ---------------------------------------------------
+
+    def bind_attr(self, name: str, thunk: Callable[[], Any]) -> None:
+        self.bindings[name] = thunk
+        self.attrs[name] = thunk()
+
+    def bind_enabled(self, thunk: Callable[[], bool]) -> None:
+        """Bind the ``disabled`` attribute to the negation of ``thunk`` —
+        the paper's ``this.disabled = !M.enableLogin.nowval``."""
+        self.bind_attr("disabled", lambda: not thunk())
+
+    def bind_class(self, thunk: Callable[[], Any]) -> None:
+        self.bind_attr("class", thunk)
+
+    def refresh(self) -> None:
+        for name, thunk in self.bindings.items():
+            self.attrs[name] = thunk()
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self) -> str:
+        attrs = [f'id="{self.id}"']
+        for key, value in sorted(self.attrs.items()):
+            if value is True:
+                attrs.append(key)
+            elif value is False or value is None:
+                continue
+            else:
+                attrs.append(f'{key}="{value}"')
+        head = " ".join([self.tag] + attrs)
+        inner = "".join(child.render() for child in self.children)
+        return f"<{head}>{inner}</{self.tag}>"
+
+    def __repr__(self) -> str:
+        return f"Element(<{self.tag} id={self.id}>)"
+
+
+class Document(Element):
+    """The page root, optionally wired to a reactive machine: after every
+    machine reaction the document refreshes all reactive nodes (the role
+    Hop.js' react-node dependency tracking plays in the paper)."""
+
+    def __init__(self, machine: Optional[Any] = None):
+        super().__init__("html", id="document")
+        self.machine = machine
+        if machine is not None:
+            self._hook_machine(machine)
+
+    def _hook_machine(self, machine: Any) -> None:
+        original = machine.react
+
+        def reacting(inputs=None):
+            result = original(inputs)
+            self.refresh_all()
+            return result
+
+        machine.react = reacting
+
+    # -- convenience constructors (the HTML subset the paper uses) -----------
+
+    def element(self, tag: str, parent: Optional[Element] = None, **attrs: Any) -> Element:
+        element = Element(tag, **attrs)
+        (parent or self).append(element)
+        return element
+
+    def input(self, parent: Optional[Element] = None, **attrs: Any) -> Element:
+        return self.element("input", parent, **attrs)
+
+    def button(self, label: str, parent: Optional[Element] = None, **attrs: Any) -> Element:
+        button = self.element("button", parent, **attrs)
+        button.append(label)
+        return button
+
+    def div(self, parent: Optional[Element] = None, **attrs: Any) -> Element:
+        return self.element("div", parent, **attrs)
+
+    def react_node(self, thunk: Callable[[], Any], parent: Optional[Element] = None) -> ReactNode:
+        node = ReactNode(thunk)
+        (parent or self).append(node)
+        return node
+
+    # -- refresh ----------------------------------------------------------------
+
+    def refresh_all(self) -> None:
+        for node in self.walk():
+            node.refresh()
+
+    def find(self, element_id: str) -> Element:
+        for node in self.walk():
+            if isinstance(node, Element) and node.id == element_id:
+                return node
+        raise KeyError(element_id)

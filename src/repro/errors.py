@@ -1,0 +1,108 @@
+"""Exception hierarchy for hiphop-py.
+
+Every error raised by the library derives from :class:`HipHopError` so that
+client code can catch library failures with a single handler.  The hierarchy
+mirrors the paper's three phases: parse-time errors, compile-time errors, and
+run-time errors (most importantly :class:`CausalityError`, the synchronous
+deadlock detection described in section 5.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class HipHopError(Exception):
+    """Base class for all hiphop-py errors."""
+
+
+class SourceLocation:
+    """A position in a surface-syntax source text.
+
+    Attributes are 1-based, matching common editor conventions.
+    """
+
+    __slots__ = ("filename", "line", "column")
+
+    def __init__(self, filename: str = "<hiphop>", line: int = 1, column: int = 1):
+        self.filename = filename
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and self.filename == other.filename
+            and self.line == other.line
+            and self.column == other.column
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.filename, self.line, self.column))
+
+
+class ParseError(HipHopError):
+    """Raised by the lexer or parser on malformed surface syntax."""
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class ExpansionError(HipHopError):
+    """Raised while lowering surface statements to the kernel language."""
+
+
+class LinkError(HipHopError):
+    """Raised while inlining a ``run`` statement (unknown module, bad
+    signal binding, arity mismatch on ``var`` parameters, ...)."""
+
+
+class ValidationError(HipHopError):
+    """Raised by static validation (unknown signals, unbound ``break``
+    labels, instantaneous loops, ...)."""
+
+
+class CompileError(HipHopError):
+    """Raised during circuit translation for programs the compiler cannot
+    implement (should be rare: validation catches most problems first)."""
+
+
+class CausalityError(HipHopError):
+    """A synchronous deadlock: the constructive fixpoint left some nets
+    undefined.  The paper (section 5.2) requires these to be *detected and
+    reported*, never silently mis-executed.
+
+    :param nets: human-readable descriptions of the unresolved nets.
+    """
+
+    def __init__(self, message: str, nets: Sequence[str] = ()):
+        self.nets = list(nets)
+        if self.nets:
+            message = message + "\n  unresolved: " + ", ".join(self.nets)
+        super().__init__(message)
+
+
+class SignalError(HipHopError):
+    """Bad signal usage detected at run time (e.g. emitting an input
+    signal from inside the program, or reading an undeclared signal)."""
+
+
+class MultipleEmitError(SignalError):
+    """A valued signal without a combine function was emitted more than
+    once in a single reaction; the result would be nondeterministic."""
+
+
+class MachineError(HipHopError):
+    """Reactive-machine protocol violations (reacting re-entrantly,
+    providing unknown input signal names, ...)."""
+
+
+class InstantaneousLoopError(ValidationError):
+    """A ``loop`` body may terminate in the same instant it starts, which
+    would make the reaction diverge.  Rejected statically, as in Esterel."""

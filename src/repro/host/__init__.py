@@ -1,0 +1,13 @@
+"""Host substrate: event loops and simulated remote services.
+
+The paper's HipHop.js runs inside JavaScript's event loop and talks to
+remote services (the OAuth ``authenticateSvc``).  This package provides
+the Python equivalents: a deterministic virtual-time loop for tests and
+examples, an asyncio adapter for real deployments, and simulated services
+with configurable latency.
+"""
+
+from repro.host.loop import SimulatedLoop, AsyncioLoop
+from repro.host.services import AuthService, ServiceResponse
+
+__all__ = ["SimulatedLoop", "AsyncioLoop", "AuthService", "ServiceResponse"]

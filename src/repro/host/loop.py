@@ -1,0 +1,180 @@
+"""Event loops for driving reactive machines.
+
+:class:`SimulatedLoop` is a deterministic discrete-event scheduler with
+*virtual* time: timers fire when the test calls :meth:`advance`, so the
+paper's second-granularity session timers or minute-granularity pillbox
+clocks run in microseconds and reproducibly.  It implements the JavaScript
+timer API surface the paper's programs use (``setInterval`` /
+``clearInterval`` / ``setTimeout``) plus ``call_soon`` for machine
+integration.
+
+:class:`AsyncioLoop` adapts a real :mod:`asyncio` loop behind the same
+interface for wall-clock deployments.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class TimerHandle:
+    """Cancellation token returned by the timer functions."""
+
+    __slots__ = ("uid", "cancelled")
+
+    def __init__(self, uid: int):
+        self.uid = uid
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "armed"
+        return f"TimerHandle(#{self.uid}, {state})"
+
+
+class SimulatedLoop:
+    """Deterministic virtual-time event loop.
+
+    Time is in milliseconds (JavaScript convention).  Callbacks scheduled
+    with :meth:`call_soon` run before any timer at the same instant, in
+    FIFO order.
+    """
+
+    def __init__(self) -> None:
+        self.now_ms: float = 0.0
+        self._heap: List[Tuple[float, int, TimerHandle, Callable[[], None], Optional[float]]] = []
+        self._soon: List[Callable[[], None]] = []
+        self._uids = itertools.count()
+
+    # -- the JavaScript-style timer API --------------------------------------
+
+    def set_timeout(self, callback: Callable[[], None], delay_ms: float) -> TimerHandle:
+        handle = TimerHandle(next(self._uids))
+        heapq.heappush(self._heap, (self.now_ms + delay_ms, handle.uid, handle, callback, None))
+        return handle
+
+    def set_interval(self, callback: Callable[[], None], period_ms: float) -> TimerHandle:
+        if period_ms <= 0:
+            raise ValueError("interval period must be positive")
+        handle = TimerHandle(next(self._uids))
+        heapq.heappush(
+            self._heap, (self.now_ms + period_ms, handle.uid, handle, callback, period_ms)
+        )
+        return handle
+
+    def clear_timeout(self, handle: Optional[TimerHandle]) -> None:
+        if handle is not None:
+            handle.cancel()
+
+    clear_interval = clear_timeout
+
+    def call_soon(self, callback: Callable[[], None]) -> None:
+        self._soon.append(callback)
+
+    # -- time control -----------------------------------------------------------
+
+    def flush_soon(self) -> int:
+        """Run queued ``call_soon`` callbacks (including ones they queue).
+        Returns the number executed."""
+        count = 0
+        while self._soon:
+            callback = self._soon.pop(0)
+            callback()
+            count += 1
+            if count > 1_000_000:
+                raise RuntimeError("call_soon storm: possible reaction loop")
+        return count
+
+    def advance(self, delta_ms: float) -> int:
+        """Advance virtual time, firing due timers in order.  Returns the
+        number of callbacks executed."""
+        deadline = self.now_ms + delta_ms
+        fired = self.flush_soon()
+        while self._heap and self._heap[0][0] <= deadline:
+            when, uid, handle, callback, period = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now_ms = when
+            if period is not None:
+                heapq.heappush(self._heap, (when + period, uid, handle, callback, period))
+            callback()
+            fired += 1
+            fired += self.flush_soon()
+        self.now_ms = deadline
+        return fired
+
+    def advance_seconds(self, seconds: float) -> int:
+        return self.advance(seconds * 1000.0)
+
+    def run_until_idle(self, max_ms: float = 3_600_000.0) -> int:
+        """Advance until no timers remain (bounded by ``max_ms``)."""
+        fired = self.flush_soon()
+        while self._heap and self._heap[0][0] <= self.now_ms + max_ms:
+            fired += self.advance(self._heap[0][0] - self.now_ms)
+        return fired
+
+    # -- machine integration -----------------------------------------------------
+
+    def bindings(self) -> Dict[str, Any]:
+        """Host-global bindings exposing the JS timer API to HipHop
+        programs (pass as ``host_globals`` to the machine)."""
+        return {
+            "setInterval": lambda fn, ms: self.set_interval(fn, ms),
+            "clearInterval": self.clear_interval,
+            "setTimeout": lambda fn, ms: self.set_timeout(fn, ms),
+            "clearTimeout": self.clear_timeout,
+            "now": lambda: self.now_ms,
+        }
+
+
+class AsyncioLoop:
+    """Thin adapter exposing the same interface over a real asyncio loop."""
+
+    def __init__(self, loop: Optional[Any] = None):
+        import asyncio
+
+        self._asyncio = asyncio
+        self.loop = loop or asyncio.get_event_loop()
+
+    def set_timeout(self, callback: Callable[[], None], delay_ms: float) -> Any:
+        return self.loop.call_later(delay_ms / 1000.0, callback)
+
+    def set_interval(self, callback: Callable[[], None], period_ms: float) -> Any:
+        state = {"cancelled": False, "handle": None}
+
+        def tick() -> None:
+            if state["cancelled"]:
+                return
+            callback()
+            state["handle"] = self.loop.call_later(period_ms / 1000.0, tick)
+
+        state["handle"] = self.loop.call_later(period_ms / 1000.0, tick)
+
+        class _IntervalHandle:
+            def cancel(self_inner) -> None:
+                state["cancelled"] = True
+                if state["handle"] is not None:
+                    state["handle"].cancel()
+
+        return _IntervalHandle()
+
+    def clear_timeout(self, handle: Any) -> None:
+        if handle is not None:
+            handle.cancel()
+
+    clear_interval = clear_timeout
+
+    def call_soon(self, callback: Callable[[], None]) -> None:
+        self.loop.call_soon(callback)
+
+    def bindings(self) -> Dict[str, Any]:
+        return {
+            "setInterval": lambda fn, ms: self.set_interval(fn, ms),
+            "clearInterval": self.clear_interval,
+            "setTimeout": lambda fn, ms: self.set_timeout(fn, ms),
+            "clearTimeout": self.clear_timeout,
+        }

@@ -1,0 +1,103 @@
+"""Simulated remote services.
+
+The paper's login example posts credentials to a third-party OAuth server
+(``authenticateSvc(name, passwd).post().then(v => ...)``).  We reproduce
+the same call shape against a deterministic in-process service: ``post()``
+returns a promise-like :class:`ServiceResponse` whose ``then`` callback
+fires after a configurable latency on the host loop.
+
+This substitution keeps the paper's asynchronous code path intact — the
+async statement starts a non-blocking request, the reply arrives in a
+later reaction, and preempted requests are discarded — while making tests
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class ServiceResponse:
+    """A promise-like object: ``.then(fn)`` runs ``fn(value)`` when the
+    simulated request completes."""
+
+    def __init__(self, loop: Any, value_fn: Callable[[], Any], latency_ms: float):
+        self._loop = loop
+        self._value_fn = value_fn
+        self._latency_ms = latency_ms
+        self._callbacks: List[Callable[[Any], None]] = []
+        self._fired = False
+        self._value: Any = None
+        loop.set_timeout(self._fire, latency_ms)
+
+    def _fire(self) -> None:
+        self._fired = True
+        self._value = self._value_fn()
+        for callback in self._callbacks:
+            callback(self._value)
+        self._callbacks = []
+
+    def then(self, callback: Callable[[Any], None]) -> "ServiceResponse":
+        if self._fired:
+            self._loop.call_soon(lambda: callback(self._value))
+        else:
+            self._callbacks.append(callback)
+        return self
+
+
+class _PendingRequest:
+    """The object returned by ``authenticateSvc(name, passwd)``; calling
+    ``.post()`` actually sends it (mirrors the Hop.js service API)."""
+
+    def __init__(self, service: "AuthService", name: str, passwd: str):
+        self._service = service
+        self.name = name
+        self.passwd = passwd
+
+    def post(self) -> ServiceResponse:
+        return self._service.post(self.name, self.passwd)
+
+
+class AuthService:
+    """A simulated authentication server.
+
+    :param loop: host loop used for latency simulation.
+    :param accounts: mapping of valid name → password.
+    :param latency_ms: round-trip time of one authentication request.
+    """
+
+    def __init__(
+        self,
+        loop: Any,
+        accounts: Optional[Dict[str, str]] = None,
+        latency_ms: float = 150.0,
+    ):
+        self.loop = loop
+        self.accounts = dict(accounts or {})
+        self.latency_ms = latency_ms
+        #: request log: (time_ms, name, granted)
+        self.log: List[Tuple[float, str, bool]] = []
+        #: force the next n requests to fail regardless of credentials
+        self.outage_requests = 0
+
+    def add_account(self, name: str, passwd: str) -> None:
+        self.accounts[name] = passwd
+
+    def check(self, name: str, passwd: str) -> bool:
+        if self.outage_requests > 0:
+            self.outage_requests -= 1
+            return False
+        return self.accounts.get(name) == passwd
+
+    def post(self, name: str, passwd: str) -> ServiceResponse:
+        def resolve() -> bool:
+            granted = self.check(name, passwd)
+            self.log.append((getattr(self.loop, "now_ms", 0.0), name, granted))
+            return granted
+
+        return ServiceResponse(self.loop, resolve, self.latency_ms)
+
+    def __call__(self, name: str, passwd: str) -> _PendingRequest:
+        """Make the service callable exactly like the paper's
+        ``authenticateSvc(name, passwd)``."""
+        return _PendingRequest(self, name, passwd)

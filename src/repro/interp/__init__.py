@@ -1,0 +1,11 @@
+"""Reference interpreter (constructive behavioral semantics).
+
+An independent implementation of the language semantics, used to
+cross-check the circuit backend: Esterel's Must/Can constructive analysis
+resolves signal statuses, then a deterministic execution pass advances the
+program state.  See :mod:`repro.interp.interp`.
+"""
+
+from repro.interp.interp import Interpreter, UnsupportedProgram
+
+__all__ = ["Interpreter", "UnsupportedProgram"]

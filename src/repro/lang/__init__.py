@@ -1,0 +1,7 @@
+"""Language layer: AST, signals, host expressions, builder DSL, validation."""
+
+from repro.lang.signals import SignalDecl, VarDecl, IN, OUT, INOUT, LOCAL
+from repro.lang import ast
+from repro.lang import expr
+
+__all__ = ["SignalDecl", "VarDecl", "IN", "OUT", "INOUT", "LOCAL", "ast", "expr"]

@@ -1,0 +1,320 @@
+"""Programmatic AST-building API.
+
+The paper (section 5) notes that besides the concrete syntax, HipHop.js
+offers "an API to directly build abstract syntax trees from within
+JavaScript", enabling on-the-fly program construction.  This module is the
+Python analogue: a set of ergonomic constructors so reactive programs can
+be assembled without going through the parser.
+
+Example — the classic ABRO::
+
+    from repro.lang import dsl as hh
+
+    ABRO = hh.module(
+        "ABRO", "in A, in B, in R, out O",
+        hh.loopeach(hh.sig("R"),
+            hh.seq(hh.par(hh.await_(hh.sig("A")), hh.await_(hh.sig("B"))),
+                   hh.emit("O"))),
+    )
+
+Expression fragments accept either :class:`~repro.lang.expr.Expr` values,
+plain Python literals (wrapped in ``Lit``), or strings, which are parsed
+with the surface-syntax expression grammar.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.lang import ast as A
+from repro.lang import expr as E
+from repro.lang.signals import IN, INOUT, LOCAL, OUT, SignalDecl, VarDecl
+
+ExprLike = Union[E.Expr, str, int, float, bool, None]
+DelayLike = Union[A.Delay, ExprLike]
+StmtLike = Union[A.Stmt, Sequence[A.Stmt]]
+
+
+def expr(value: ExprLike) -> E.Expr:
+    """Coerce a value to an expression.
+
+    Strings are parsed with the embedded expression grammar (so
+    ``expr("login.now && name.nowval.length >= 2")`` works); other Python
+    scalars become literals.
+    """
+    if isinstance(value, E.Expr):
+        return value
+    if isinstance(value, str):
+        from repro.syntax.parser import parse_expression
+
+        return parse_expression(value)
+    return E.Lit(value)
+
+
+def value_expr(value: ExprLike) -> E.Expr:
+    """Like :func:`expr` but strings are literals, not parsed source."""
+    if isinstance(value, E.Expr):
+        return value
+    return E.Lit(value)
+
+
+def sig(name: str, kind: str = E.NOW) -> E.SigRef:
+    """``sig("login")`` is ``login.now``; pass ``kind`` for other accesses."""
+    return E.SigRef(name, kind)
+
+
+def nowval(name: str) -> E.SigRef:
+    return E.SigRef(name, E.NOWVAL)
+
+
+def preval(name: str) -> E.SigRef:
+    return E.SigRef(name, E.PREVAL)
+
+
+def pre(name: str) -> E.SigRef:
+    return E.SigRef(name, E.PRE)
+
+
+def host(fn: Callable[[E.EvalEnv], Any], deps: Iterable[str] = (), label: str = "<hostcall>") -> E.HostCall:
+    """Wrap an opaque Python callable as an expression; ``deps`` lists the
+    signals whose current-instant value/status it reads."""
+    return E.HostCall(fn, deps, label)
+
+
+# -- delays -----------------------------------------------------------------
+
+
+def delay(guard: DelayLike, immediate: bool = False, count: ExprLike = None) -> A.Delay:
+    if isinstance(guard, A.Delay):
+        return guard
+    return A.Delay(expr(guard), immediate, None if count is None else expr(count))
+
+
+def immediate(guard: DelayLike) -> A.Delay:
+    d = delay(guard)
+    return A.Delay(d.expr, True, d.count, d.loc)
+
+
+def count(n: ExprLike, guard: DelayLike) -> A.Delay:
+    d = delay(guard)
+    return A.Delay(d.expr, d.immediate, expr(n), d.loc)
+
+
+# -- statements ---------------------------------------------------------------
+
+
+def _stmt(value: StmtLike) -> A.Stmt:
+    if isinstance(value, A.Stmt):
+        return value
+    return seq(*value)
+
+
+def nothing() -> A.Nothing:
+    return A.Nothing()
+
+
+def pause() -> A.Pause:
+    return A.Pause()
+
+
+def halt() -> A.Halt:
+    return A.Halt()
+
+
+def emit(signal: str, value: ExprLike = ...) -> A.Emit:
+    """``emit("S")`` is a pure emission; ``emit("S", v)`` a valued one.
+
+    ``v`` may be an expression, a parseable string, or a literal.  To emit
+    a *string literal*, pass ``E.Lit("...")`` or use :func:`emit_value`.
+    """
+    if value is ...:
+        return A.Emit(signal)
+    return A.Emit(signal, expr(value))
+
+
+def emit_value(signal: str, value: Any) -> A.Emit:
+    """Emit with a literal Python value (never parsed)."""
+    return A.Emit(signal, E.Lit(value))
+
+
+def sustain(signal: str, value: ExprLike = ...) -> A.Sustain:
+    if value is ...:
+        return A.Sustain(signal)
+    return A.Sustain(signal, expr(value))
+
+
+def atom(*body: Union[A.HostStmt, Callable[[E.EvalEnv], Any]], deps: Iterable[str] = ()) -> A.Atom:
+    """A host-statement block.  Bare callables are wrapped as
+    ``ExprStmt(HostCall(...))`` with the given signal ``deps``."""
+    stmts: List[A.HostStmt] = []
+    for item in body:
+        if isinstance(item, A.HostStmt):
+            stmts.append(item)
+        else:
+            stmts.append(A.ExprStmt(E.HostCall(item, deps, label=getattr(item, "__name__", "<atom>"))))
+    return A.Atom(stmts)
+
+
+def assign(name: str, value: ExprLike) -> A.Assign:
+    return A.Assign(name, expr(value))
+
+
+def seq(*items: StmtLike) -> A.Stmt:
+    flat: List[A.Stmt] = []
+    for item in items:
+        stmt = _stmt(item)
+        if isinstance(stmt, A.Seq):
+            flat.extend(stmt.items)
+        else:
+            flat.append(stmt)
+    if not flat:
+        return A.Nothing()
+    if len(flat) == 1:
+        return flat[0]
+    return A.Seq(flat)
+
+
+def par(*branches: StmtLike) -> A.Stmt:
+    """``fork {} par {}``."""
+    items = [_stmt(b) for b in branches]
+    if not items:
+        return A.Nothing()
+    if len(items) == 1:
+        return items[0]
+    return A.Par(items)
+
+
+fork = par
+
+
+def loop(*body: StmtLike) -> A.Loop:
+    return A.Loop(seq(*body))
+
+
+def if_(test: ExprLike, then: StmtLike, orelse: Optional[StmtLike] = None) -> A.If:
+    return A.If(expr(test), _stmt(then), None if orelse is None else _stmt(orelse))
+
+
+def present(signal: str, then: StmtLike, orelse: Optional[StmtLike] = None) -> A.If:
+    """Esterel's ``present S then p else q`` as an ``if`` on ``S.now``."""
+    return if_(sig(signal), then, orelse)
+
+
+def suspend(guard: DelayLike, *body: StmtLike) -> A.Suspend:
+    return A.Suspend(delay(guard), seq(*body))
+
+
+def abort(guard: DelayLike, *body: StmtLike) -> A.Abort:
+    return A.Abort(delay(guard), seq(*body))
+
+
+def weakabort(guard: DelayLike, *body: StmtLike) -> A.WeakAbort:
+    return A.WeakAbort(delay(guard), seq(*body))
+
+
+def await_(guard: DelayLike) -> A.Await:
+    return A.Await(delay(guard))
+
+
+def await_count(n: ExprLike, guard: DelayLike) -> A.Await:
+    return A.Await(count(n, guard))
+
+
+def every(guard: DelayLike, *body: StmtLike) -> A.Every:
+    return A.Every(delay(guard), seq(*body))
+
+
+def do_every(body: StmtLike, guard: DelayLike) -> A.DoEvery:
+    return A.DoEvery(_stmt(body), delay(guard))
+
+
+def loopeach(guard: DelayLike, *body: StmtLike) -> A.DoEvery:
+    """Esterel's ``loop … each d``: run the body now, restart on ``d``."""
+    return A.DoEvery(seq(*body), delay(guard))
+
+
+def trap(label: str, *body: StmtLike) -> A.Trap:
+    return A.Trap(label, seq(*body))
+
+
+def break_(label: str) -> A.Break:
+    return A.Break(label)
+
+
+def local(decls: Union[str, Sequence[SignalDecl]], *body: StmtLike) -> A.Local:
+    """Declare local signals; ``decls`` may be a declaration string like
+    ``"freeze, restart, tmo=0"``."""
+    if isinstance(decls, str):
+        decls = parse_signal_decls(decls, LOCAL)
+    return A.Local(list(decls), seq(*body))
+
+
+def run(module: Union[str, A.Module], bindings: Optional[Dict[str, str]] = None,
+        **var_args: ExprLike) -> A.Run:
+    """``run M(sig as connected)`` is ``run(M, {"sig": "connected"})``;
+    ``var`` parameters are passed as keyword arguments."""
+    return A.Run(module, bindings, {k: value_expr(v) for k, v in var_args.items()})
+
+
+def exec_(
+    start: Callable[[A.ExecContext], None],
+    signal: Optional[str] = None,
+    kill: Optional[Callable[[A.ExecContext], None]] = None,
+    on_suspend: Optional[Callable[[A.ExecContext], None]] = None,
+    on_resume: Optional[Callable[[A.ExecContext], None]] = None,
+    name: str = "async",
+) -> A.Exec:
+    """The ``async … kill …`` statement (named ``exec_`` here because
+    ``async`` is a Python keyword)."""
+    return A.Exec(start, signal, kill, on_suspend, on_resume, name)
+
+
+async_ = exec_
+
+
+# -- interfaces ----------------------------------------------------------------
+
+
+def parse_signal_decls(text: str, default_direction: str = LOCAL) -> List[SignalDecl]:
+    """Parse a compact interface string: ``"in name='', in login, out s"``.
+
+    Each comma-separated entry is ``[in|out|inout] name [= expr]``.
+    """
+    from repro.syntax.parser import parse_interface_fragment
+
+    return parse_interface_fragment(text, default_direction)
+
+
+def module(
+    name: str,
+    interface: Union[str, Sequence[SignalDecl]],
+    *body: StmtLike,
+    variables: Sequence[VarDecl] = (),
+    implements: Optional[Sequence[SignalDecl]] = None,
+) -> A.Module:
+    """Build a module.  ``interface`` may be a declaration string.
+
+    ``implements`` prepends another module's interface (the paper's
+    ``implements ${Main.interface}``).
+    """
+    if isinstance(interface, str):
+        decls = parse_signal_decls(interface, LOCAL) if interface.strip() else []
+    else:
+        decls = list(interface)
+    if implements is not None:
+        have = {d.name for d in decls}
+        decls = [d for d in implements if d.name not in have] + decls
+    return A.Module(name, decls, seq(*body), variables)
+
+
+def signal_decl(
+    name: str,
+    direction: str = LOCAL,
+    init: ExprLike = ...,
+    combine: Optional[Callable[[Any, Any], Any]] = None,
+) -> SignalDecl:
+    return SignalDecl(name, direction, None if init is ... else value_expr(init), combine)
+
+
+def var_decl(name: str, init: ExprLike = ...) -> VarDecl:
+    return VarDecl(name, None if init is ... else value_expr(init))

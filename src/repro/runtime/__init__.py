@@ -1,0 +1,5 @@
+"""Runtime: the reactive machine and its constructive circuit simulator."""
+
+from repro.runtime.machine import ReactiveMachine, ReactionResult
+
+__all__ = ["ReactiveMachine", "ReactionResult"]

@@ -1,0 +1,84 @@
+"""Run-time state of ``async`` (exec) statements.
+
+Each compiled exec occurrence owns an :class:`ExecState` slot.  Starting
+the statement creates a fresh *invocation* (generation); `notify` calls
+from stale invocations — killed or already completed — are ignored, which
+is how the paper's login example discards pending authentications
+automatically when a new ``login`` preempts the old one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.lang.ast import ExecContext
+
+
+class ExecHandle(ExecContext):
+    """The object bound to ``this`` in async bodies.
+
+    Besides :meth:`notify` and :meth:`react` it is a free-form attribute
+    bag, so host code can stash resources on it (``this.intv = ...`` in the
+    paper's Timer module).
+    """
+
+    def __init__(self, machine: Any, slot: int, generation: int, scope: Dict[str, int]):
+        self._machine = machine
+        self._slot = slot
+        self._generation = generation
+        self._scope = scope
+
+    # -- ExecContext API ------------------------------------------------
+
+    def notify(self, value: Any = None) -> None:
+        self._machine.notify_exec(self._slot, self._generation, value)
+
+    def react(self, inputs: Optional[Dict[str, Any]] = None) -> None:
+        self._machine.queue_react(inputs or {})
+
+    @property
+    def machine(self) -> Any:
+        return self._machine
+
+    @property
+    def env(self):
+        """Evaluation environment scoped to the exec's signal bindings."""
+        return self._machine.env_for(self._scope)
+
+    @property
+    def alive(self) -> bool:
+        """True while this invocation is the exec's current one."""
+        state = self._machine.exec_state(self._slot)
+        return state.running and state.generation == self._generation
+
+
+class ExecState:
+    """Machine-side bookkeeping for one exec slot."""
+
+    __slots__ = ("slot", "running", "generation", "pending", "pending_value", "handle")
+
+    def __init__(self, slot: int):
+        self.slot = slot
+        self.running = False
+        self.generation = 0
+        self.pending = False
+        self.pending_value: Any = None
+        self.handle: Optional[ExecHandle] = None
+
+    def start(self, machine: Any, scope: Dict[str, int]) -> ExecHandle:
+        self.generation += 1
+        self.running = True
+        self.pending = False
+        self.pending_value = None
+        self.handle = ExecHandle(machine, self.slot, self.generation, scope)
+        return self.handle
+
+    def stop(self) -> None:
+        self.running = False
+        self.pending = False
+        self.pending_value = None
+        self.generation += 1  # invalidate outstanding handles
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "idle"
+        return f"ExecState(#{self.slot} {state}, gen {self.generation})"

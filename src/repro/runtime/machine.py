@@ -1,0 +1,429 @@
+"""The reactive machine (paper §2.2.1 and §5): the JavaScript-facing — here
+Python-facing — wrapper around the compiled circuit.
+
+Typical use::
+
+    from repro import ReactiveMachine
+    from repro.syntax import parse_module
+
+    M = ReactiveMachine(parse_module(SOURCE))
+    result = M.react({"name": "alice", "passwd": "secret"})
+    if result["enableLogin"]:
+        ...
+    print(M.connState.nowval)
+
+Each :meth:`react` call is one synchronous reaction: atomic, deterministic,
+and linear-time in the circuit size.  Input signals are passed as a dict
+(presence implied by the key, value attached when meaningful); output
+signal statuses and values are returned and also exposed as attributes.
+
+Asynchronous integration: ``async`` bodies receive an
+:class:`~repro.runtime.execblock.ExecHandle` bound to ``this``; its
+``notify(v)`` completes the async (emitting the completion signal at the
+next reaction) and ``react(inputs)`` queues a machine reaction — both safe
+to call from host callbacks.  Reactions requested *during* a reaction are
+deferred and run immediately after it, preserving atomicity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import MachineError, SignalError
+from repro.lang import ast as A
+from repro.lang import expr as E
+from repro.compiler.compile import CompiledModule, CompileOptions, compile_module
+from repro.compiler.netlist import Circuit
+from repro.runtime.execblock import ExecHandle, ExecState
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.signal import RuntimeSignal, SignalView
+
+
+class ReactionResult(Mapping):
+    """The outcome of one reaction: a mapping of the *present* output
+    signals to their values, plus machine status flags."""
+
+    def __init__(
+        self,
+        emitted: Dict[str, Any],
+        statuses: Dict[str, bool],
+        terminated: bool,
+        paused: bool,
+    ):
+        self._emitted = emitted
+        self.statuses = statuses
+        self.terminated = terminated
+        self.paused = paused
+
+    def __getitem__(self, name: str) -> Any:
+        return self._emitted[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._emitted)
+
+    def __len__(self) -> int:
+        return len(self._emitted)
+
+    def present(self, name: str) -> bool:
+        return name in self._emitted
+
+    def __repr__(self) -> str:
+        flags = " terminated" if self.terminated else ""
+        return f"ReactionResult({self._emitted!r}{flags})"
+
+
+class _MachineEnv(E.EvalEnv):
+    """Evaluation environment for compiled expressions: signal accesses
+    resolve through a lexical-scope snapshot; free identifiers resolve in
+    the machine frame, then in the host globals."""
+
+    __slots__ = ("_machine", "_scope")
+
+    def __init__(self, machine: "ReactiveMachine", scope: Dict[str, int]):
+        self._machine = machine
+        self._scope = scope
+
+    def _signal(self, name: str) -> RuntimeSignal:
+        try:
+            return self._machine._signals[self._scope[name]]
+        except KeyError:
+            raise SignalError(f"signal {name!r} not in scope") from None
+
+    def signal_now(self, name: str) -> bool:
+        signal = self._signal(name)
+        if self._machine._reacting:
+            info = self._machine.compiled.circuit.signals[signal.slot]
+            status = self._machine._scheduler.values[info.status_net.id]
+            if status is None:
+                raise SignalError(
+                    f"status of {name!r} read before it was resolved "
+                    "(missing data dependency)"
+                )
+            return bool(status)
+        return signal.now
+
+    def signal_pre(self, name: str) -> bool:
+        return self._signal(name).pre
+
+    def signal_nowval(self, name: str) -> Any:
+        return self._signal(name).nowval
+
+    def signal_preval(self, name: str) -> Any:
+        return self._signal(name).preval
+
+    def signal_name(self, name: str) -> str:
+        return self._signal(name).bound_name
+
+    def lookup(self, name: str) -> Any:
+        frame = self._machine.frame
+        if name in frame:
+            return frame[name]
+        host = self._machine.host_globals
+        if name in host:
+            return host[name]
+        raise KeyError(name)
+
+    def assign(self, name: str, value: Any) -> None:
+        self._machine.frame[name] = value
+
+
+ModuleLike = Union[A.Module, CompiledModule]
+
+
+class ReactiveMachine:
+    """A compiled HipHop program ready to react."""
+
+    def __init__(
+        self,
+        module: ModuleLike,
+        modules: Optional[A.ModuleTable] = None,
+        options: Optional[CompileOptions] = None,
+        host_globals: Optional[Dict[str, Any]] = None,
+        loop: Optional[Any] = None,
+    ):
+        if isinstance(module, CompiledModule):
+            self.compiled = module
+        else:
+            self.compiled = compile_module(module, modules, options)
+        self.module = self.compiled.module
+        self.name = self.module.name
+        self.host_globals: Dict[str, Any] = dict(host_globals or {})
+        #: host variable frame (module vars, `let` bindings)
+        self.frame: Dict[str, Any] = {}
+        self._loop = loop
+
+        circuit = self.compiled.circuit
+        self._scheduler = Scheduler(circuit, self)
+        self._signals: List[RuntimeSignal] = [
+            RuntimeSignal(
+                info.slot,
+                info.name,
+                info.bound_name,
+                info.direction,
+                self._resolve_combine(info.combine, info.name),
+            )
+            for info in circuit.signals
+        ]
+        self._counters: List[int] = [0] * len(circuit.counters)
+        self._execs: List[ExecState] = [ExecState(i) for i in range(len(circuit.execs))]
+        self._listeners: Dict[str, List[Callable[[Any], None]]] = {}
+        self._reacting = False
+        self._deferred: List[Dict[str, Any]] = []
+        self.terminated = False
+        self.reaction_count = 0
+
+        self._boot_values()
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def _resolve_combine(self, combine: Any, signal_name: str) -> Any:
+        """Combine functions declared textually (``combine fname``) resolve
+        against the host globals at machine construction."""
+        if combine is None or callable(combine):
+            return combine
+        fn = self.host_globals.get(combine)
+        if fn is None or not callable(fn):
+            raise MachineError(
+                f"signal {signal_name!r} declares combine {combine!r}, which is "
+                "not a callable in the machine's host globals"
+            )
+        return fn
+
+    def _boot_values(self) -> None:
+        env = self.env_for({})
+        for name, init in self.compiled.circuit.frame_vars:
+            # vars without an initializer stay unbound so lookups can fall
+            # through to the host globals (or to a later instance Assign)
+            if name not in self.frame and init is not None:
+                self.frame[name] = init.eval(env)
+        for info in self.compiled.circuit.signals:
+            if info.init is not None:
+                value = info.init.eval(env)
+                signal = self._signals[info.slot]
+                signal.nowval = value
+                signal.preval = value
+
+    def attach_loop(self, loop: Any) -> None:
+        """Attach a host event loop providing ``call_soon(fn)``; queued
+        reactions (from ``this.react`` / ``notify``) are scheduled on it."""
+        self._loop = loop
+
+    # ------------------------------------------------------------------
+    # the public reaction API
+    # ------------------------------------------------------------------
+
+    def react(self, inputs: Optional[Dict[str, Any]] = None) -> ReactionResult:
+        """Run one atomic reaction with the given input signals present.
+
+        ``inputs`` maps input-signal names to their emitted values (use
+        ``True`` for pure presence).  Returns the present outputs.
+        """
+        if self._reacting:
+            raise MachineError(
+                "reentrant react(): reactions are atomic; use this.react() "
+                "from async bodies to queue one"
+            )
+        result = self._react_once(inputs or {})
+        # Serve reactions queued by notify()/this.react() during this one.
+        while self._deferred:
+            self._react_once(self._deferred.pop(0))
+        return result
+
+    def _react_once(self, inputs: Dict[str, Any]) -> ReactionResult:
+        circuit = self.compiled.circuit
+        input_values: Dict[int, bool] = {}
+
+        for signal in self._signals:
+            signal.begin_instant()
+
+        for name, value in inputs.items():
+            info = circuit.interface.get(name)
+            if info is None or info.input_net is None:
+                valid = sorted(
+                    k for k, v in circuit.interface.items() if v.input_net is not None
+                )
+                raise MachineError(
+                    f"unknown input signal {name!r}; machine inputs: {valid}"
+                )
+            input_values[info.input_net.id] = True
+            self._signals[info.slot].write(value)
+
+        for state in self._execs:
+            if state.running and state.pending:
+                info = circuit.execs[state.slot]
+                input_values[info.done_net.id] = True
+
+        self._reacting = True
+        try:
+            self._scheduler.react(input_values)
+        finally:
+            self._reacting = False
+
+        # Post-reaction bookkeeping: statuses and outputs.
+        values = self._scheduler.values
+        emitted: Dict[str, Any] = {}
+        statuses: Dict[str, bool] = {}
+        for info in circuit.signals:
+            present = bool(values[info.status_net.id])
+            self._signals[info.slot].now = present
+        for name, info in circuit.interface.items():
+            signal = self._signals[info.slot]
+            statuses[name] = signal.now
+            if info.direction in ("out", "inout") and signal.now:
+                emitted[name] = signal.nowval
+
+        self.reaction_count += 1
+        if values[circuit.k0_net.id]:
+            self.terminated = True
+        result = ReactionResult(
+            emitted, statuses, self.terminated, bool(values[circuit.k1_net.id])
+        )
+
+        for name, value in emitted.items():
+            for listener in self._listeners.get(name, ()):
+                listener(value)
+        return result
+
+    def queue_react(self, inputs: Dict[str, Any]) -> None:
+        """Queue a reaction (callable from anywhere, including from inside
+        async bodies during a reaction)."""
+        if self._reacting:
+            self._deferred.append(inputs)
+        elif self._loop is not None:
+            self._loop.call_soon(lambda: self.react(inputs))
+        else:
+            self.react(inputs)
+
+    def reset(self) -> None:
+        """Return the machine to its boot state (registers, signals,
+        counters, execs); host frame variables are re-initialized."""
+        self._scheduler.clear_state()
+        for state in self._execs:
+            state.stop()
+        self._counters = [0] * len(self._counters)
+        for signal in self._signals:
+            signal.now = signal.pre = False
+            signal.nowval = signal.preval = None
+            signal.emitted = 0
+        self.frame = {}
+        self.terminated = False
+        self.reaction_count = 0
+        self._boot_values()
+
+    # ------------------------------------------------------------------
+    # signal access (machine.connState.nowval, listeners)
+    # ------------------------------------------------------------------
+
+    def signal(self, name: str) -> SignalView:
+        info = self.compiled.circuit.interface.get(name)
+        if info is None:
+            raise SignalError(f"no interface signal {name!r} on machine {self.name}")
+        return SignalView(self._signals[info.slot])
+
+    def __getattr__(self, name: str) -> Any:
+        # Called only when normal lookup fails: expose interface signals.
+        compiled = self.__dict__.get("compiled")
+        signals = self.__dict__.get("_signals")
+        if compiled is None or signals is None:
+            raise AttributeError(name)
+        info = compiled.circuit.interface.get(name)
+        if info is None:
+            raise AttributeError(name)
+        return SignalView(signals[info.slot])
+
+    def add_listener(self, name: str, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` whenever output ``name`` is emitted."""
+        if name not in self.compiled.circuit.interface:
+            raise SignalError(f"no interface signal {name!r}")
+        self._listeners.setdefault(name, []).append(callback)
+
+    def remove_listener(self, name: str, callback: Callable[[Any], None]) -> None:
+        callbacks = self._listeners.get(name, [])
+        if callback in callbacks:
+            callbacks.remove(callback)
+
+    # ------------------------------------------------------------------
+    # payload host interface (called by compiled circuit payloads)
+    # ------------------------------------------------------------------
+
+    def env_for(self, scope: Dict[str, int]) -> _MachineEnv:
+        return _MachineEnv(self, scope)
+
+    def emit_value(self, slot: int, value: Any) -> None:
+        self._signals[slot].write(value)
+
+    def init_signal(self, slot: int, value: Any) -> None:
+        self._signals[slot].initialize(value)
+
+    def arm_counter(self, slot: int, value: int) -> None:
+        self._counters[slot] = max(1, int(value))
+
+    def tick_counter(self, slot: int) -> bool:
+        self._counters[slot] -= 1
+        return self._counters[slot] <= 0
+
+    def exec_state(self, slot: int) -> ExecState:
+        return self._execs[slot]
+
+    def start_exec(self, slot: int, scope: Dict[str, int]) -> None:
+        state = self._execs[slot]
+        info = self.compiled.circuit.execs[slot]
+        handle = state.start(self, scope)
+        self._run_exec_action(info.stmt.start, handle)
+
+    def kill_exec(self, slot: int) -> None:
+        state = self._execs[slot]
+        if not state.running:
+            return
+        info = self.compiled.circuit.execs[slot]
+        handle = state.handle
+        state.stop()
+        if info.stmt.kill is not None and handle is not None:
+            self._run_exec_action(info.stmt.kill, handle)
+
+    def suspend_exec(self, slot: int) -> None:
+        state = self._execs[slot]
+        info = self.compiled.circuit.execs[slot]
+        if state.running and info.stmt.on_suspend is not None and state.handle:
+            self._run_exec_action(info.stmt.on_suspend, state.handle)
+
+    def resume_exec(self, slot: int) -> None:
+        state = self._execs[slot]
+        info = self.compiled.circuit.execs[slot]
+        if state.running and info.stmt.on_resume is not None and state.handle:
+            self._run_exec_action(info.stmt.on_resume, state.handle)
+
+    def finish_exec(self, slot: int) -> None:
+        """The completion instant: write the notified value into the
+        completion signal (if any) and retire the invocation."""
+        state = self._execs[slot]
+        info = self.compiled.circuit.execs[slot]
+        if info.signal is not None:
+            self._signals[info.signal.slot].write(state.pending_value)
+        state.stop()
+
+    def notify_exec(self, slot: int, generation: int, value: Any) -> None:
+        state = self._execs[slot]
+        if not state.running or state.generation != generation:
+            return  # stale invocation: silently discarded (paper §2.2.4)
+        state.pending = True
+        state.pending_value = value
+        self.queue_react({})
+
+    def _run_exec_action(self, action: Any, handle: ExecHandle) -> None:
+        if callable(action):
+            action(handle)
+            return
+        env = E.ScopedEnv(handle.env, {"this": handle})
+        for stmt in action:
+            stmt.execute(env)
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return self.compiled.circuit.stats()
+
+    def __repr__(self) -> str:
+        return f"ReactiveMachine({self.name}, {len(self.compiled.circuit.nets)} nets)"

@@ -1,0 +1,113 @@
+"""Run-time signal state.
+
+Each compiled signal instance owns one :class:`RuntimeSignal` slot holding
+its presence status for the current and previous instants (statuses reset
+every reaction) and its value for the current and previous instants
+(values persist across reactions until re-emitted) — paper section 2.2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import MultipleEmitError
+
+
+class RuntimeSignal:
+    """Mutable per-reaction state of one signal instance."""
+
+    __slots__ = (
+        "slot",
+        "name",
+        "bound_name",
+        "direction",
+        "combine",
+        "now",
+        "pre",
+        "nowval",
+        "preval",
+        "emitted",
+    )
+
+    def __init__(
+        self,
+        slot: int,
+        name: str,
+        bound_name: str,
+        direction: str,
+        combine: Optional[Callable[[Any, Any], Any]],
+    ):
+        self.slot = slot
+        self.name = name
+        self.bound_name = bound_name
+        self.direction = direction
+        self.combine = combine
+        self.now: bool = False
+        self.pre: bool = False
+        self.nowval: Any = None
+        self.preval: Any = None
+        #: number of value emissions in the current instant
+        self.emitted: int = 0
+
+    def begin_instant(self) -> None:
+        """Roll current state into ``pre`` and reset the instant state."""
+        self.pre = self.now
+        self.preval = self.nowval
+        self.now = False
+        self.emitted = 0
+
+    def write(self, value: Any) -> None:
+        """One value emission; combines on re-emission within an instant."""
+        if self.emitted == 0:
+            self.nowval = value
+        elif self.combine is not None:
+            self.nowval = self.combine(self.nowval, value)
+        else:
+            raise MultipleEmitError(
+                f"signal {self.name!r} emitted twice in one reaction "
+                "without a combine function"
+            )
+        self.emitted += 1
+
+    def initialize(self, value: Any) -> None:
+        """Declaration-time (re-)initialization: sets the value without
+        counting as an emission."""
+        self.nowval = value
+
+    def __repr__(self) -> str:
+        status = "present" if self.now else "absent"
+        return f"RuntimeSignal({self.name}: {status}, value={self.nowval!r})"
+
+
+class SignalView:
+    """Read-only signal accessor exposed on the machine
+    (``machine.connState.nowval`` after a reaction, mirroring the paper's
+    client code ``M.connState.nowval``)."""
+
+    __slots__ = ("_signal",)
+
+    def __init__(self, signal: RuntimeSignal):
+        self._signal = signal
+
+    @property
+    def now(self) -> bool:
+        return self._signal.now
+
+    @property
+    def pre(self) -> bool:
+        return self._signal.pre
+
+    @property
+    def nowval(self) -> Any:
+        return self._signal.nowval
+
+    @property
+    def preval(self) -> Any:
+        return self._signal.preval
+
+    @property
+    def signame(self) -> str:
+        return self._signal.bound_name
+
+    def __repr__(self) -> str:
+        return f"SignalView({self._signal!r})"

@@ -1,0 +1,124 @@
+"""Reaction tracing: record and render what a reactive machine did.
+
+Temporal bugs are hard to read off imperative logs; a trace of reactions
+— which inputs arrived, which outputs fired, when the program paused or
+terminated — is the natural debugging view for synchronous programs.
+
+Usage::
+
+    from repro.runtime.tracing import Tracer
+
+    tracer = Tracer(machine)          # wraps machine.react
+    ... drive the machine ...
+    print(tracer.render())            # timeline, one line per reaction
+    tracer.events("connState")        # [(reaction#, value), ...]
+
+The tracer is non-invasive: it observes inputs/results only, adds no
+signals, and can be detached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class ReactionRecord:
+    """Everything observable about one reaction."""
+
+    __slots__ = ("index", "inputs", "outputs", "statuses", "paused", "terminated")
+
+    def __init__(self, index: int, inputs: Dict[str, Any], result: Any):
+        self.index = index
+        self.inputs = dict(inputs)
+        self.outputs = dict(result)
+        self.statuses = dict(result.statuses)
+        self.paused = result.paused
+        self.terminated = result.terminated
+
+    def describe(self) -> str:
+        def fmt(d: Dict[str, Any]) -> str:
+            parts = []
+            for key in sorted(d):
+                value = d[key]
+                parts.append(key if value in (True, None) else f"{key}={value!r}")
+            return "{" + ", ".join(parts) + "}"
+
+        state = "TERMINATED" if self.terminated else ("paused" if self.paused else "")
+        return (
+            f"#{self.index:<4} in {fmt(self.inputs):<30} "
+            f"out {fmt(self.outputs):<34} {state}"
+        ).rstrip()
+
+    def __repr__(self) -> str:
+        return f"ReactionRecord({self.describe()})"
+
+
+class Tracer:
+    """Wraps a machine's ``react`` and accumulates
+    :class:`ReactionRecord` entries."""
+
+    def __init__(self, machine: Any, limit: Optional[int] = None):
+        self.machine = machine
+        self.records: List[ReactionRecord] = []
+        self.limit = limit
+        self._counter = 0
+        self._original = machine.react
+        machine.react = self._traced_react  # type: ignore[method-assign]
+        self._attached = True
+
+    def _traced_react(self, inputs: Optional[Dict[str, Any]] = None):
+        inputs = inputs or {}
+        result = self._original(inputs)
+        self.records.append(ReactionRecord(self._counter, inputs, result))
+        self._counter += 1
+        if self.limit is not None and len(self.records) > self.limit:
+            self.records.pop(0)
+        return result
+
+    def detach(self) -> None:
+        """Restore the machine's original ``react``."""
+        if self._attached:
+            self.machine.react = self._original
+            self._attached = False
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # -- queries ----------------------------------------------------------
+
+    def events(self, signal: str) -> List[Tuple[int, Any]]:
+        """Reactions in which ``signal`` was emitted, with its value."""
+        return [
+            (r.index, r.outputs[signal]) for r in self.records if signal in r.outputs
+        ]
+
+    def reactions_with_input(self, signal: str) -> List[int]:
+        return [r.index for r in self.records if signal in r.inputs]
+
+    def final_state(self) -> Optional[str]:
+        if not self.records:
+            return None
+        last = self.records[-1]
+        return "terminated" if last.terminated else ("paused" if last.paused else "idle")
+
+    # -- rendering ----------------------------------------------------------
+
+    def render(self) -> str:
+        """A one-line-per-reaction timeline."""
+        return "\n".join(r.describe() for r in self.records)
+
+    def render_signal_grid(self, signals: List[str]) -> str:
+        """A waveform-ish grid: rows are signals, columns reactions;
+        ``#`` marks presence (as input or output)."""
+        header = "reaction   " + " ".join(f"{r.index % 10}" for r in self.records)
+        lines = [header]
+        for name in signals:
+            cells = []
+            for record in self.records:
+                present = name in record.inputs or record.statuses.get(name, False)
+                cells.append("#" if present else ".")
+            lines.append(f"{name:<10} " + " ".join(cells))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.records)

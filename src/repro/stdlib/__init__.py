@@ -1,0 +1,5 @@
+"""Standard library modules (the paper's ``Timer`` and friends)."""
+
+from repro.stdlib.prelude import TIMER_SOURCE, prelude_table, timer_module
+
+__all__ = ["timer_module", "prelude_table", "TIMER_SOURCE"]

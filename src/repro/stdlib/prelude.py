@@ -1,0 +1,76 @@
+"""The standard-library modules shipped with hiphop-py.
+
+``Timer`` is the paper's library module (section 2.2.5), verbatim modulo
+syntax: an ``async`` block wrapping ``setInterval``, counting seconds into
+its ``time`` signal via ``this.react``, with a ``kill`` handler releasing
+the interval when the timer is preempted for any reason.
+
+Machines using these modules need the host timer API in their globals —
+pass ``loop.bindings()`` from :class:`repro.host.SimulatedLoop` (or the
+asyncio adapter).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.lang.ast import Module, ModuleTable
+from repro.syntax import parse_module
+
+#: The paper's Timer module: emits `time` every second with the elapsed
+#: seconds since it started; cleans its interval up when killed.
+TIMER_SOURCE = """
+module Timer(inout time) {
+  async {
+    this.react({[time.signame]: this.sec = 0});
+    this.intv = setInterval(() => this.react({[time.signame]: ++this.sec}), 1000)
+  } kill {
+    clearInterval(this.intv)
+  }
+}
+"""
+
+#: A one-shot timeout: emits `elapsed` once, `ms` milliseconds after start.
+TIMEOUT_SOURCE = """
+module Timeout(var ms, out elapsed) {
+  async elapsed {
+    this.tmt = setTimeout(() => this.notify(true), ms)
+  } kill {
+    clearTimeout(this.tmt)
+  }
+}
+"""
+
+#: A metronome: emits `tick` every `ms` milliseconds until killed.  Like
+#: the paper's Timer, the tick signal must be `inout` at the machine
+#: interface (the async body injects it through `this.react`).
+TICKER_SOURCE = """
+module Ticker(var ms, inout tick) {
+  async {
+    this.intv = setInterval(() => this.react({[tick.signame]: true}), ms)
+  } kill {
+    clearInterval(this.intv)
+  }
+}
+"""
+
+
+@lru_cache(maxsize=None)
+def timer_module() -> Module:
+    return parse_module(TIMER_SOURCE)
+
+
+@lru_cache(maxsize=None)
+def timeout_module() -> Module:
+    return parse_module(TIMEOUT_SOURCE)
+
+
+@lru_cache(maxsize=None)
+def ticker_module() -> Module:
+    return parse_module(TICKER_SOURCE)
+
+
+def prelude_table() -> ModuleTable:
+    """A fresh module table pre-loaded with the standard modules; add your
+    own modules to it and pass it to the machine/compiler."""
+    return ModuleTable([timer_module(), timeout_module(), ticker_module()])

@@ -1,0 +1,17 @@
+"""Surface syntax: lexer and recursive-descent parser (compiler phase 1)."""
+
+from repro.syntax.parser import (
+    parse_expression,
+    parse_interface_fragment,
+    parse_module,
+    parse_program,
+    parse_statement,
+)
+
+__all__ = [
+    "parse_expression",
+    "parse_interface_fragment",
+    "parse_module",
+    "parse_program",
+    "parse_statement",
+]

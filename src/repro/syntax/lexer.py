@@ -1,0 +1,157 @@
+"""Hand-written lexer for the HipHop surface syntax.
+
+Supports ``//`` line comments, ``/* ... */`` block comments, single- and
+double-quoted strings with the usual escapes, decimal and float numbers,
+identifiers and the punctuation set of :mod:`repro.syntax.tokens`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ParseError, SourceLocation
+from repro.syntax.tokens import EOF, NAME, NUMBER, PUNCT, PUNCTUATIONS, STRING, Token
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "0": "\0",
+    "b": "\b",
+    "f": "\f",
+}
+
+
+class Lexer:
+    def __init__(self, source: str, filename: str = "<hiphop>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, n: int = 1) -> str:
+        text = self.source[self.pos : self.pos + n]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += n
+        return text
+
+    # -- scanning -------------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                loc = self._loc()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.source):
+                        raise ParseError("unterminated block comment", loc)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _scan_string(self) -> Token:
+        loc = self._loc()
+        quote = self._advance()
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise ParseError("unterminated string literal", loc)
+            ch = self._advance()
+            if ch == quote:
+                break
+            if ch == "\n":
+                raise ParseError("newline in string literal", loc)
+            if ch == "\\":
+                esc = self._advance()
+                chars.append(_ESCAPES.get(esc, esc))
+            else:
+                chars.append(ch)
+        return Token(STRING, "".join(chars), loc)
+
+    def _scan_number(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        return Token(NUMBER, float(text) if is_float else int(text), loc)
+
+    def _scan_name(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        while True:
+            ch = self._peek()
+            if not ch or not (ch.isalnum() or ch in "_$"):
+                break
+            self._advance()
+        return Token(NAME, self.source[start : self.pos], loc)
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        loc = self._loc()
+        if self.pos >= len(self.source):
+            return Token(EOF, None, loc)
+        ch = self._peek()
+        if ch in "'\"":
+            return self._scan_string()
+        if ch.isdigit():
+            return self._scan_number()
+        if ch.isalpha() or ch in "_$":
+            return self._scan_name()
+        for punct in PUNCTUATIONS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(PUNCT, punct, loc)
+        raise ParseError(f"unexpected character {ch!r}", loc)
+
+
+def tokenize(source: str, filename: str = "<hiphop>") -> List[Token]:
+    """Tokenize ``source`` fully, appending a terminating EOF token."""
+    lexer = Lexer(source, filename)
+    tokens: List[Token] = []
+    while True:
+        token = lexer.next_token()
+        tokens.append(token)
+        if token.kind == EOF:
+            return tokens

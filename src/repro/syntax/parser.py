@@ -1,0 +1,745 @@
+"""Recursive-descent parser for the HipHop surface syntax (phase 1).
+
+The grammar follows the paper's examples closely::
+
+    module Main(in name="", in passwd="", in login, in logout,
+                out enableLogin, out connState="disconn",
+                inout time=0, inout connected) {
+      fork {
+        run Identity(...)
+      } par {
+        every (login.now) {
+          run Authenticate(...);
+          if (connected.nowval) { run Session(...) }
+          else { emit connState("error") }
+        }
+      }
+    }
+
+Statement syntax: ``emit S(e)``, ``sustain S(e)``, ``await [immediate]
+[count(n, e)] e``, ``abort/weakabort/suspend [immediate] (e) { ... }``,
+``every (e) { ... }``, ``do { ... } every (e)``, ``fork {} par {}``,
+``loop {}``, ``if (e) {} else {}``, ``signal S1, S2=0;`` (scoped to the end
+of the enclosing block), labels ``L: stmt`` with ``break L``, ``run M(...)``
+with ``as`` renamings and ``var=value`` parameters, ``async [S] { host }
+kill { host }``, ``atom/hop { host }``, ``let x = e``, ``nothing``,
+``pause``/``yield``, ``halt``.
+
+Embedded host expressions are JavaScript-flavoured, with signal accesses
+``S.now``, ``S.pre``, ``S.nowval``, ``S.preval``, ``S.signame``, arrow
+functions, computed object keys and prefix ``++``/``--``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ParseError
+from repro.lang import ast as A
+from repro.lang import expr as E
+from repro.lang.signals import DIRECTIONS, IN, INOUT, LOCAL, OUT, SignalDecl, VarDecl
+from repro.syntax.lexer import tokenize
+from repro.syntax.tokens import EOF, NAME, NUMBER, PUNCT, STRING, STATEMENT_KEYWORDS, Token
+
+#: Signal access properties recognized after an identifier.
+_SIGNAL_ACCESSORS = frozenset(E.ACCESS_KINDS)
+
+#: Identifiers that are never implicit signal bases (``this.now`` is an
+#: attribute access on the exec context, not a signal named ``this``).
+_NON_SIGNAL_BASES = frozenset({"this"})
+
+
+class Parser:
+    """Token-stream parser.  One instance per parse; not reusable."""
+
+    def __init__(self, tokens: List[Token], modules: Optional[A.ModuleTable] = None):
+        self.tokens = tokens
+        self.index = 0
+        self.modules = modules if modules is not None else A.ModuleTable()
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != EOF:
+            self.index += 1
+        return token
+
+    def at_punct(self, value: str, offset: int = 0) -> bool:
+        return self.peek(offset).is_punct(value)
+
+    def at_name(self, value: Optional[str] = None, offset: int = 0) -> bool:
+        return self.peek(offset).is_name(value)
+
+    def expect_punct(self, value: str) -> Token:
+        token = self.peek()
+        if not token.is_punct(value):
+            raise ParseError(f"expected {value!r}, found {token.value!r}", token.loc)
+        return self.advance()
+
+    def expect_name(self, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != NAME or (value is not None and token.value != value):
+            what = value or "an identifier"
+            raise ParseError(f"expected {what}, found {token.value!r}", token.loc)
+        return self.advance()
+
+    def accept_punct(self, value: str) -> bool:
+        if self.at_punct(value):
+            self.advance()
+            return True
+        return False
+
+    def accept_name(self, value: str) -> bool:
+        if self.at_name(value):
+            self.advance()
+            return True
+        return False
+
+    def _skip_semis(self) -> None:
+        while self.accept_punct(";"):
+            pass
+
+    # ------------------------------------------------------------------
+    # programs and modules
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> A.ModuleTable:
+        while not self.peek().kind == EOF:
+            self._skip_semis()
+            if self.peek().kind == EOF:
+                break
+            self.modules.add(self.parse_module())
+        return self.modules
+
+    def parse_module(self) -> A.Module:
+        loc = self.expect_name("module").loc
+        name = self.expect_name().value
+        interface: List[SignalDecl] = []
+        variables: List[VarDecl] = []
+        self.expect_punct("(")
+        if not self.at_punct(")"):
+            while True:
+                self._parse_interface_entry(interface, variables)
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct(")")
+        if self.accept_name("implements"):
+            base_name = self.expect_name().value
+            base = self.modules.get(base_name)
+            have = {d.name for d in interface}
+            interface = [d for d in base.interface if d.name not in have] + interface
+            names = {v.name for v in variables}
+            variables = [v for v in base.variables if v.name not in names] + variables
+        body = self.parse_block()
+        return A.Module(name, interface, body, variables, loc)
+
+    def _parse_interface_entry(
+        self, interface: List[SignalDecl], variables: List[VarDecl]
+    ) -> None:
+        token = self.peek()
+        if token.is_name("var"):
+            self.advance()
+            name = self.expect_name().value
+            init = self.parse_expression() if self.accept_punct("=") else None
+            variables.append(VarDecl(name, init, token.loc))
+            return
+        direction = INOUT
+        if token.kind == NAME and token.value in (IN, OUT, INOUT):
+            direction = token.value
+            self.advance()
+        name = self.expect_name().value
+        init = self.parse_expression() if self.accept_punct("=") else None
+        combine = self.expect_name().value if self.accept_name("combine") else None
+        interface.append(SignalDecl(name, direction, init, combine, token.loc))
+
+    def parse_interface_fragment(self, default_direction: str = LOCAL) -> List[SignalDecl]:
+        decls: List[SignalDecl] = []
+        if self.peek().kind == EOF:
+            return decls
+        while True:
+            token = self.peek()
+            direction = default_direction
+            if token.kind == NAME and token.value in (IN, OUT, INOUT):
+                direction = token.value
+                self.advance()
+            name = self.expect_name().value
+            init = self.parse_expression() if self.accept_punct("=") else None
+            decls.append(SignalDecl(name, direction, init, None, token.loc))
+            if not self.accept_punct(","):
+                break
+        return decls
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def parse_block(self) -> A.Stmt:
+        """``{ stmt* }`` with ``signal`` declarations scoping to block end."""
+        self.expect_punct("{")
+        body = self._parse_statement_sequence(stop="}")
+        self.expect_punct("}")
+        return body
+
+    def _parse_statement_sequence(self, stop: str) -> A.Stmt:
+        items: List[A.Stmt] = []
+        while True:
+            self._skip_semis()
+            token = self.peek()
+            if token.kind == EOF or token.is_punct(stop):
+                break
+            if token.is_name("signal"):
+                self.advance()
+                decls = self._parse_local_signal_decls()
+                self._skip_semis()
+                rest = self._parse_statement_sequence(stop)
+                items.append(A.Local(decls, rest, token.loc))
+                break
+            items.append(self.parse_statement())
+        if not items:
+            return A.Nothing()
+        if len(items) == 1:
+            return items[0]
+        return A.Seq(items)
+
+    def _parse_local_signal_decls(self) -> List[SignalDecl]:
+        decls: List[SignalDecl] = []
+        while True:
+            token = self.expect_name()
+            init = self.parse_expression() if self.accept_punct("=") else None
+            combine = self.expect_name().value if self.accept_name("combine") else None
+            decls.append(SignalDecl(token.value, LOCAL, init, combine, token.loc))
+            if not self.accept_punct(","):
+                return decls
+
+    def parse_statement(self) -> A.Stmt:
+        token = self.peek()
+        if token.kind != NAME:
+            if token.is_punct("{"):
+                return self.parse_block()
+            raise ParseError(f"expected a statement, found {token.value!r}", token.loc)
+
+        word = token.value
+        # Labelled statement: `Name: stmt`
+        if word not in STATEMENT_KEYWORDS and self.at_punct(":", offset=1):
+            self.advance()
+            self.advance()
+            return A.Trap(word, self.parse_statement(), token.loc)
+
+        handler = _STATEMENT_HANDLERS.get(word)
+        if handler is not None:
+            return handler(self)
+        raise ParseError(f"unknown statement {word!r}", token.loc)
+
+    # -- individual statements ------------------------------------------------
+
+    def _stmt_nothing(self) -> A.Stmt:
+        loc = self.advance().loc
+        return A.Nothing(loc)
+
+    def _stmt_pause(self) -> A.Stmt:
+        loc = self.advance().loc
+        return A.Pause(loc)
+
+    def _stmt_halt(self) -> A.Stmt:
+        loc = self.advance().loc
+        return A.Halt(loc)
+
+    def _stmt_emit(self) -> A.Stmt:
+        loc = self.advance().loc
+        name = self.expect_name().value
+        value: Optional[E.Expr] = None
+        if self.accept_punct("("):
+            if not self.at_punct(")"):
+                value = self.parse_expression()
+            self.expect_punct(")")
+        return A.Emit(name, value, loc)
+
+    def _stmt_sustain(self) -> A.Stmt:
+        loc = self.advance().loc
+        name = self.expect_name().value
+        value: Optional[E.Expr] = None
+        if self.accept_punct("("):
+            if not self.at_punct(")"):
+                value = self.parse_expression()
+            self.expect_punct(")")
+        return A.Sustain(name, value, loc)
+
+    def _parse_delay_head(self) -> A.Delay:
+        """``[immediate] count(n, e)`` or ``[immediate] (e)``."""
+        immediate = self.accept_name("immediate")
+        loc = self.peek().loc
+        if self.at_name("count"):
+            self.advance()
+            self.expect_punct("(")
+            count = self.parse_expression()
+            self.expect_punct(",")
+            guard = self.parse_expression()
+            self.expect_punct(")")
+            return A.Delay(guard, immediate, count, loc)
+        self.expect_punct("(")
+        if self.accept_name("immediate"):
+            immediate = True
+        guard = self.parse_expression()
+        self.expect_punct(")")
+        return A.Delay(guard, immediate, None, loc)
+
+    def _stmt_await(self) -> A.Stmt:
+        loc = self.advance().loc
+        immediate = self.accept_name("immediate")
+        if self.at_name("count"):
+            self.advance()
+            self.expect_punct("(")
+            count = self.parse_expression()
+            self.expect_punct(",")
+            guard = self.parse_expression()
+            self.expect_punct(")")
+            return A.Await(A.Delay(guard, immediate, count, loc), loc)
+        guard = self.parse_expression()
+        return A.Await(A.Delay(guard, immediate, None, loc), loc)
+
+    def _stmt_abort(self) -> A.Stmt:
+        loc = self.advance().loc
+        delay = self._parse_delay_head()
+        body = self.parse_block()
+        return A.Abort(delay, body, loc)
+
+    def _stmt_weakabort(self) -> A.Stmt:
+        loc = self.advance().loc
+        delay = self._parse_delay_head()
+        body = self.parse_block()
+        return A.WeakAbort(delay, body, loc)
+
+    def _stmt_suspend(self) -> A.Stmt:
+        loc = self.advance().loc
+        delay = self._parse_delay_head()
+        body = self.parse_block()
+        return A.Suspend(delay, body, loc)
+
+    def _stmt_every(self) -> A.Stmt:
+        loc = self.advance().loc
+        delay = self._parse_delay_head()
+        body = self.parse_block()
+        return A.Every(delay, body, loc)
+
+    def _stmt_do(self) -> A.Stmt:
+        loc = self.advance().loc
+        body = self.parse_block()
+        self.expect_name("every")
+        delay = self._parse_delay_head()
+        return A.DoEvery(body, delay, loc)
+
+    def _stmt_fork(self) -> A.Stmt:
+        loc = self.advance().loc
+        branches = [self.parse_block()]
+        while self.at_name("par"):
+            self.advance()
+            branches.append(self.parse_block())
+        if len(branches) == 1:
+            return branches[0]
+        return A.Par(branches, loc)
+
+    def _stmt_loop(self) -> A.Stmt:
+        loc = self.advance().loc
+        return A.Loop(self.parse_block(), loc)
+
+    def _stmt_if(self) -> A.Stmt:
+        loc = self.advance().loc
+        self.expect_punct("(")
+        test = self.parse_expression()
+        self.expect_punct(")")
+        then = self.parse_block() if self.at_punct("{") else self.parse_statement()
+        orelse: Optional[A.Stmt] = None
+        if self.accept_name("else"):
+            orelse = self.parse_block() if self.at_punct("{") else self.parse_statement()
+        return A.If(test, then, orelse, loc)
+
+    def _stmt_break(self) -> A.Stmt:
+        loc = self.advance().loc
+        label = self.expect_name().value
+        return A.Break(label, loc)
+
+    def _stmt_let(self) -> A.Stmt:
+        loc = self.advance().loc
+        name = self.expect_name().value
+        self.expect_punct("=")
+        value = self.parse_expression()
+        return A.Atom([A.Assign(name, value, loc)], loc)
+
+    def _stmt_atom(self) -> A.Stmt:
+        loc = self.advance().loc
+        return A.Atom(self.parse_host_block(), loc)
+
+    def _stmt_run(self) -> A.Stmt:
+        loc = self.advance().loc
+        name = self.expect_name().value
+        bindings: Dict[str, str] = {}
+        var_args: Dict[str, E.Expr] = {}
+        self.expect_punct("(")
+        if not self.at_punct(")"):
+            while True:
+                if self.at_punct("..."):
+                    # `run M(...)`: remaining interface signals bind by name.
+                    self.advance()
+                elif self.at_name() and self.at_name("as", offset=1):
+                    first = self.expect_name().value
+                    self.expect_name("as")
+                    second = self.expect_name().value
+                    bindings[first] = second
+                elif self.at_name() and self.at_punct("=", offset=1):
+                    var = self.expect_name().value
+                    self.expect_punct("=")
+                    var_args[var] = self.parse_expression()
+                else:
+                    token = self.peek()
+                    raise ParseError(
+                        f"bad run argument near {token.value!r} "
+                        "(expected '...', 'sig as other' or 'var=value')",
+                        token.loc,
+                    )
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct(")")
+        module: Union[str, A.Module] = name
+        if name in self.modules:
+            module = self.modules.get(name)
+        return A.Run(module, bindings, var_args, loc)
+
+    def _stmt_async(self) -> A.Stmt:
+        loc = self.advance().loc
+        signal: Optional[str] = None
+        if self.at_name() and not self.at_punct("{"):
+            signal = self.expect_name().value
+        start = self.parse_host_block()
+        kill = on_suspend = on_resume = None
+        while True:
+            if self.at_name("kill"):
+                self.advance()
+                kill = self.parse_host_block()
+            elif self.at_name("suspend"):
+                self.advance()
+                on_suspend = self.parse_host_block()
+            elif self.at_name("resume"):
+                self.advance()
+                on_resume = self.parse_host_block()
+            else:
+                break
+        return A.Exec(start, signal, kill, on_suspend, on_resume, name="async", loc=loc)
+
+    # ------------------------------------------------------------------
+    # host statements
+    # ------------------------------------------------------------------
+
+    def parse_host_block(self) -> List[A.HostStmt]:
+        self.expect_punct("{")
+        stmts: List[A.HostStmt] = []
+        while True:
+            self._skip_semis()
+            if self.at_punct("}") or self.peek().kind == EOF:
+                break
+            stmts.append(self.parse_host_statement())
+        self.expect_punct("}")
+        return stmts
+
+    def parse_host_statement(self) -> A.HostStmt:
+        token = self.peek()
+        if token.is_name("let"):
+            self.advance()
+            name = self.expect_name().value
+            self.expect_punct("=")
+            return A.Assign(name, self.parse_expression(), token.loc)
+        expr = self.parse_expression()
+        if isinstance(expr, E.AssignExpr):
+            if isinstance(expr.target, E.Var):
+                return A.Assign(expr.target.name, expr.value, token.loc)
+            return A.TargetAssign(expr.target, expr.value, token.loc)
+        return A.ExprStmt(expr, token.loc)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> E.Expr:
+        expr = self._parse_ternary()
+        if self.at_punct("=") and isinstance(expr, (E.Var, E.Attr, E.Index)):
+            loc = self.advance().loc
+            return E.AssignExpr(expr, self.parse_expression(), loc)
+        return expr
+
+    def _parse_ternary(self) -> E.Expr:
+        test = self._parse_or()
+        if self.accept_punct("?"):
+            then = self.parse_expression()
+            self.expect_punct(":")
+            orelse = self.parse_expression()
+            return E.Cond(test, then, orelse, test.loc)
+        return test
+
+    def _parse_or(self) -> E.Expr:
+        left = self._parse_and()
+        while self.at_punct("||"):
+            self.advance()
+            left = E.BinOp("||", left, self._parse_and(), left.loc)
+        return left
+
+    def _parse_and(self) -> E.Expr:
+        left = self._parse_equality()
+        while self.at_punct("&&"):
+            self.advance()
+            left = E.BinOp("&&", left, self._parse_equality(), left.loc)
+        return left
+
+    def _parse_equality(self) -> E.Expr:
+        left = self._parse_relational()
+        while self.peek().kind == PUNCT and self.peek().value in ("==", "!=", "===", "!=="):
+            op = self.advance().value
+            left = E.BinOp(op, left, self._parse_relational(), left.loc)
+        return left
+
+    def _parse_relational(self) -> E.Expr:
+        left = self._parse_additive()
+        while self.peek().kind == PUNCT and self.peek().value in ("<", "<=", ">", ">="):
+            op = self.advance().value
+            left = E.BinOp(op, left, self._parse_additive(), left.loc)
+        return left
+
+    def _parse_additive(self) -> E.Expr:
+        left = self._parse_multiplicative()
+        while self.peek().kind == PUNCT and self.peek().value in ("+", "-"):
+            op = self.advance().value
+            left = E.BinOp(op, left, self._parse_multiplicative(), left.loc)
+        return left
+
+    def _parse_multiplicative(self) -> E.Expr:
+        left = self._parse_unary()
+        while self.peek().kind == PUNCT and self.peek().value in ("*", "/", "%"):
+            op = self.advance().value
+            left = E.BinOp(op, left, self._parse_unary(), left.loc)
+        return left
+
+    def _parse_unary(self) -> E.Expr:
+        token = self.peek()
+        if token.kind == PUNCT and token.value in ("!", "-", "+"):
+            self.advance()
+            return E.UnOp(token.value, self._parse_unary(), token.loc)
+        if token.kind == PUNCT and token.value in ("++", "--"):
+            self.advance()
+            return E.IncDec(token.value, self._parse_unary(), token.loc)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> E.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.at_punct("."):
+                self.advance()
+                name = self.expect_name().value
+                if (
+                    isinstance(expr, E.Var)
+                    and name in _SIGNAL_ACCESSORS
+                    and expr.name not in _NON_SIGNAL_BASES
+                ):
+                    expr = E.SigRef(expr.name, name, expr.loc)
+                else:
+                    expr = E.Attr(expr, name, expr.loc)
+            elif self.at_punct("("):
+                self.advance()
+                args: List[E.Expr] = []
+                if not self.at_punct(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept_punct(","):
+                            break
+                self.expect_punct(")")
+                expr = E.Call(expr, args, expr.loc)
+            elif self.at_punct("["):
+                self.advance()
+                key = self.parse_expression()
+                self.expect_punct("]")
+                expr = E.Index(expr, key, expr.loc)
+            else:
+                return expr
+
+    def _lambda_params_ahead(self) -> Optional[int]:
+        """If the upcoming ``( ... )`` is an arrow-function parameter list,
+        return the offset of the token *after* the ``=>``; else ``None``."""
+        if not self.at_punct("("):
+            return None
+        offset = 1
+        depth = 1
+        while depth > 0:
+            token = self.peek(offset)
+            if token.kind == EOF:
+                return None
+            if token.is_punct("("):
+                depth += 1
+            elif token.is_punct(")"):
+                depth -= 1
+            offset += 1
+        return offset if self.peek(offset).is_punct("=>") else None
+
+    def _parse_primary(self) -> E.Expr:
+        token = self.peek()
+        if token.kind == NUMBER or token.kind == STRING:
+            self.advance()
+            return E.Lit(token.value, token.loc)
+        if token.is_name("true"):
+            self.advance()
+            return E.Lit(True, token.loc)
+        if token.is_name("false"):
+            self.advance()
+            return E.Lit(False, token.loc)
+        if token.is_name("null"):
+            self.advance()
+            return E.Lit(None, token.loc)
+        if token.kind == NAME:
+            # `x => expr` single-parameter arrow function
+            if self.at_punct("=>", offset=1):
+                self.advance()
+                self.advance()
+                return E.Lambda([token.value], self.parse_expression(), token.loc)
+            self.advance()
+            return E.Var(token.value, token.loc)
+        if token.is_punct("("):
+            if self._lambda_params_ahead() is not None:
+                self.advance()
+                params: List[str] = []
+                if not self.at_punct(")"):
+                    while True:
+                        params.append(self.expect_name().value)
+                        if not self.accept_punct(","):
+                            break
+                self.expect_punct(")")
+                self.expect_punct("=>")
+                return E.Lambda(params, self.parse_expression(), token.loc)
+            self.advance()
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+        if token.is_punct("["):
+            self.advance()
+            items: List[E.Expr] = []
+            if not self.at_punct("]"):
+                while True:
+                    items.append(self.parse_expression())
+                    if not self.accept_punct(","):
+                        break
+            self.expect_punct("]")
+            return E.ArrayLit(items, token.loc)
+        if token.is_punct("{"):
+            self.advance()
+            fields: List[Tuple[Union[str, E.Expr], E.Expr]] = []
+            if not self.at_punct("}"):
+                while True:
+                    key: Union[str, E.Expr]
+                    if self.at_punct("["):
+                        self.advance()
+                        key = self.parse_expression()
+                        self.expect_punct("]")
+                    elif self.peek().kind == STRING:
+                        key = self.advance().value
+                    else:
+                        key = self.expect_name().value
+                    if self.accept_punct(":"):
+                        value = self.parse_expression()
+                    elif isinstance(key, str):
+                        value = E.Var(key, token.loc)  # `{login}` shorthand
+                    else:
+                        raise ParseError("computed key requires a value", token.loc)
+                    fields.append((key, value))
+                    if not self.accept_punct(","):
+                        break
+            self.expect_punct("}")
+            return E.ObjectLit(fields, token.loc)
+        raise ParseError(f"expected an expression, found {token.value!r}", token.loc)
+
+
+_STATEMENT_HANDLERS = {
+    "nothing": Parser._stmt_nothing,
+    "pause": Parser._stmt_pause,
+    "yield": Parser._stmt_pause,
+    "halt": Parser._stmt_halt,
+    "emit": Parser._stmt_emit,
+    "sustain": Parser._stmt_sustain,
+    "await": Parser._stmt_await,
+    "abort": Parser._stmt_abort,
+    "weakabort": Parser._stmt_weakabort,
+    "suspend": Parser._stmt_suspend,
+    "every": Parser._stmt_every,
+    "do": Parser._stmt_do,
+    "fork": Parser._stmt_fork,
+    "loop": Parser._stmt_loop,
+    "if": Parser._stmt_if,
+    "break": Parser._stmt_break,
+    "let": Parser._stmt_let,
+    "atom": Parser._stmt_atom,
+    "hop": Parser._stmt_atom,
+    "run": Parser._stmt_run,
+    "async": Parser._stmt_async,
+}
+
+
+# ---------------------------------------------------------------------------
+# public entry points
+# ---------------------------------------------------------------------------
+
+
+def _parser_for(text: str, filename: str, modules: Optional[A.ModuleTable] = None) -> Parser:
+    return Parser(tokenize(text, filename), modules)
+
+
+def parse_expression(text: str, filename: str = "<expr>") -> E.Expr:
+    """Parse a standalone host expression."""
+    parser = _parser_for(text, filename)
+    expr = parser.parse_expression()
+    token = parser.peek()
+    if token.kind != EOF:
+        raise ParseError(f"trailing input after expression: {token.value!r}", token.loc)
+    return expr
+
+
+def parse_statement(text: str, filename: str = "<stmt>",
+                    modules: Optional[A.ModuleTable] = None) -> A.Stmt:
+    """Parse a statement sequence (no enclosing braces required)."""
+    parser = _parser_for(text, filename, modules)
+    body = parser._parse_statement_sequence(stop="\0")
+    token = parser.peek()
+    if token.kind != EOF:
+        raise ParseError(f"trailing input after statement: {token.value!r}", token.loc)
+    return body
+
+
+def parse_module(text: str, filename: str = "<module>",
+                 modules: Optional[A.ModuleTable] = None) -> A.Module:
+    """Parse a single ``module ... { ... }`` definition."""
+    parser = _parser_for(text, filename, modules)
+    module = parser.parse_module()
+    parser._skip_semis()
+    token = parser.peek()
+    if token.kind != EOF:
+        raise ParseError(f"trailing input after module: {token.value!r}", token.loc)
+    return module
+
+
+def parse_program(text: str, filename: str = "<program>",
+                  modules: Optional[A.ModuleTable] = None) -> A.ModuleTable:
+    """Parse a sequence of module definitions into a module table.
+
+    Later modules may ``run`` or ``implements`` earlier ones.
+    """
+    return _parser_for(text, filename, modules).parse_program()
+
+
+def parse_interface_fragment(text: str, default_direction: str = LOCAL) -> List[SignalDecl]:
+    """Parse a compact signal-declaration list: ``"in a=1, out b"``."""
+    parser = _parser_for(text, "<interface>")
+    decls = parser.parse_interface_fragment(default_direction)
+    token = parser.peek()
+    if token.kind != EOF:
+        raise ParseError(f"trailing input after interface: {token.value!r}", token.loc)
+    return decls

@@ -1,0 +1,54 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro import CompileOptions, ReactiveMachine, parse_module, parse_program
+from repro.lang.ast import Module, ModuleTable
+
+Inputs = Union[Dict[str, Any], Set[str], None]
+
+
+def machine_for(source: str, **kwargs) -> ReactiveMachine:
+    """Build a machine from a single-module source (or a program whose
+    *last* module is the entry point)."""
+    table = parse_program(source)
+    names = table.names()
+    entry = kwargs.pop("entry", None)
+    module = table.get(entry) if entry else list(table)[-1]
+    return ReactiveMachine(module, modules=table, **kwargs)
+
+
+def _to_inputs(step: Inputs) -> Dict[str, Any]:
+    if step is None:
+        return {}
+    if isinstance(step, dict):
+        return step
+    return {name: True for name in step}
+
+
+def run_trace(
+    machine: ReactiveMachine, steps: Sequence[Inputs]
+) -> List[Dict[str, Any]]:
+    """React the machine through ``steps``; returns the emitted-output
+    dict of each reaction."""
+    return [dict(machine.react(_to_inputs(step))) for step in steps]
+
+
+def presence_trace(
+    machine: ReactiveMachine, steps: Sequence[Inputs]
+) -> List[Set[str]]:
+    """Like :func:`run_trace` but keeps only output presence."""
+    return [set(out) for out in run_trace(machine, steps)]
+
+
+def check_trace(source: str, steps: Sequence[Inputs], expected: Sequence[Set[str]],
+                **kwargs) -> None:
+    """Assert the presence trace of ``source`` on ``steps``."""
+    machine = machine_for(source, **kwargs)
+    got = presence_trace(machine, steps)
+    assert got == [set(e) for e in expected], (
+        f"trace mismatch:\n  inputs   = {list(steps)}\n"
+        f"  expected = {list(expected)}\n  got      = {got}"
+    )

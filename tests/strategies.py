@@ -1,0 +1,220 @@
+"""Hypothesis strategies generating random HipHop programs.
+
+Two flavours:
+
+* :func:`pure_modules` — programs in the interpreter's pure subset, used
+  for the circuit-vs-interpreter differential property;
+* :func:`printable_statements` — a broader statement space (values,
+  counts, weak aborts) restricted to parser-producible shapes, used for
+  the pretty-printer round-trip property.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import strategies as st
+
+from repro.lang import ast as A
+from repro.lang import expr as E
+from repro.lang.signals import SignalDecl
+
+INPUTS = ("A", "B", "C")
+OUTPUTS = ("X", "Y", "Z")
+LOCALS = ("L1", "L2")
+
+
+def _interface() -> List[SignalDecl]:
+    return [SignalDecl(n, "in") for n in INPUTS] + [
+        SignalDecl(n, "out") for n in OUTPUTS
+    ]
+
+
+# ---------------------------------------------------------------------------
+# pure programs (differential testing)
+# ---------------------------------------------------------------------------
+
+
+def _guards(signals: tuple) -> st.SearchStrategy[E.Expr]:
+    base = st.sampled_from(signals).map(lambda s: E.SigRef(s, E.NOW))
+    pre = st.sampled_from(signals).map(lambda s: E.SigRef(s, E.PRE))
+    atom = st.one_of(base, base, pre)
+    return st.recursive(
+        atom,
+        lambda inner: st.one_of(
+            inner.map(lambda e: E.UnOp("!", e)),
+            st.tuples(inner, inner).map(lambda t: E.BinOp("&&", t[0], t[1])),
+            st.tuples(inner, inner).map(lambda t: E.BinOp("||", t[0], t[1])),
+        ),
+        max_leaves=3,
+    )
+
+
+def _pure_stmts(depth: int, traps: tuple, in_loop: bool, scope: tuple):
+    """Statements of the pure kernel subset over `scope` signals."""
+    emit = st.sampled_from(tuple(OUTPUTS) + tuple(s for s in scope if s in LOCALS)).map(
+        A.Emit
+    )
+    # st.builds (not st.just) so every occurrence is a fresh node: the
+    # interpreter keys control state by node identity
+    leaves = [st.builds(A.Nothing), st.builds(A.Pause), emit, st.builds(A.Pause)]
+    if traps:
+        leaves.append(st.sampled_from(traps).map(A.Break))
+    leaf = st.one_of(*leaves)
+    if depth <= 0:
+        return leaf
+
+    sub = _pure_stmts(depth - 1, traps, in_loop, scope)
+    guards = _guards(scope)
+
+    def seq(items):
+        return A.Seq(list(items))
+
+    composite = [
+        st.lists(sub, min_size=2, max_size=3).map(seq),
+        st.lists(sub, min_size=2, max_size=3).map(lambda b: A.Par(list(b))),
+        st.tuples(guards, sub, sub).map(lambda t: A.If(t[0], t[1], t[2])),
+        st.tuples(guards, sub, st.booleans()).map(
+            lambda t: A.Abort(A.Delay(t[0], immediate=t[2]), t[1])
+        ),
+        st.tuples(guards, sub).map(lambda t: A.Suspend(A.Delay(t[0]), t[1])),
+    ]
+    # loops: force non-instantaneous bodies by appending a pause; loop
+    # bodies must not introduce locals (interpreter restriction)
+    loop_body = _pure_stmts(depth - 1, traps, True, scope)
+    composite.append(loop_body.map(lambda b: A.Loop(A.Seq([b, A.Pause()]))))
+
+    # traps with a fresh label
+    label = f"T{depth}{'x' * len(traps)}"
+    trap_body = _pure_stmts(depth - 1, traps + (label,), in_loop, scope)
+    composite.append(trap_body.map(lambda b: A.Trap(label, b)))
+
+    if not in_loop:
+        for name in LOCALS:
+            if name not in scope:
+                local_body = _pure_stmts(
+                    depth - 1, traps, in_loop, scope + (name,)
+                )
+                composite.append(
+                    local_body.map(
+                        lambda b, n=name: A.Local([SignalDecl(n, "local")], b)
+                    )
+                )
+                break
+
+    return st.one_of(leaf, *composite)
+
+
+@st.composite
+def pure_modules(draw, max_depth: int = 3) -> A.Module:
+    body = draw(_pure_stmts(max_depth, (), False, tuple(INPUTS) + tuple(OUTPUTS)))
+    return A.Module("Gen", _interface(), body)
+
+
+@st.composite
+def input_traces(draw, max_len: int = 6) -> List[set]:
+    return draw(
+        st.lists(
+            st.sets(st.sampled_from(INPUTS), max_size=len(INPUTS)),
+            min_size=1,
+            max_size=max_len,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# printable statements (round-trip testing)
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(("S", "T", "count_", "value", "x1"))
+_values = st.one_of(
+    st.integers(min_value=0, max_value=99),
+    st.booleans(),
+    st.text(alphabet="abcz ", max_size=4),
+    st.none(),
+)
+
+
+def _printable_exprs():
+    atom = st.one_of(
+        _values.map(E.Lit),
+        _names.map(E.Var),
+        st.tuples(_names, st.sampled_from(E.ACCESS_KINDS)).map(
+            lambda t: E.SigRef(*t)
+        ),
+    )
+    return st.recursive(
+        atom,
+        lambda inner: st.one_of(
+            st.tuples(st.sampled_from(("&&", "||", "+", "<", "===")), inner, inner).map(
+                lambda t: E.BinOp(t[0], t[1], t[2])
+            ),
+            inner.map(lambda e: E.UnOp("!", e)),
+            st.tuples(inner, inner, inner).map(lambda t: E.Cond(*t)),
+            st.tuples(inner, _names).map(lambda t: E.Attr(t[0], t[1])),
+            st.tuples(inner, st.lists(inner, max_size=2)).map(
+                lambda t: E.Call(t[0], t[1])
+            ),
+            st.lists(inner, max_size=3).map(E.ArrayLit),
+        ),
+        max_leaves=4,
+    )
+
+
+def printable_exprs():
+    return _printable_exprs()
+
+
+def _printable_stmts(depth: int, traps: tuple):
+    emit = st.tuples(_names, st.one_of(st.none(), _printable_exprs())).map(
+        lambda t: A.Emit(t[0], t[1])
+    )
+    leaves = [
+        st.builds(A.Nothing),
+        st.builds(A.Pause),
+        st.builds(A.Halt),
+        emit,
+        st.tuples(_names, st.one_of(st.none(), _printable_exprs())).map(
+            lambda t: A.Sustain(t[0], t[1])
+        ),
+        _printable_exprs().map(lambda e: A.Await(A.Delay(e))),
+        st.tuples(st.integers(1, 9), _printable_exprs()).map(
+            lambda t: A.Await(A.Delay(t[1], count=E.Lit(t[0])))
+        ),
+    ]
+    if traps:
+        leaves.append(st.sampled_from(traps).map(A.Break))
+    leaf = st.one_of(*leaves)
+    if depth <= 0:
+        return leaf
+
+    sub = _printable_stmts(depth - 1, traps)
+    delay = st.tuples(_printable_exprs(), st.booleans()).map(
+        lambda t: A.Delay(t[0], immediate=t[1])
+    )
+    label = f"L{depth}"
+    composite = [
+        st.lists(sub, min_size=2, max_size=3).map(lambda items: A.Seq(list(items))),
+        st.lists(sub, min_size=2, max_size=3).map(lambda b: A.Par(list(b))),
+        sub.map(A.Loop),
+        st.tuples(_printable_exprs(), sub, st.one_of(st.none(), sub)).map(
+            lambda t: A.If(t[0], t[1], t[2])
+        ),
+        st.tuples(delay, sub).map(lambda t: A.Abort(t[0], t[1])),
+        st.tuples(delay, sub).map(lambda t: A.WeakAbort(t[0], t[1])),
+        st.tuples(delay, sub).map(lambda t: A.Suspend(t[0], t[1])),
+        st.tuples(delay, sub).map(lambda t: A.Every(t[0], t[1])),
+        st.tuples(sub, delay).map(lambda t: A.DoEvery(t[0], t[1])),
+        _printable_stmts(depth - 1, traps + (label,)).map(
+            lambda b: A.Trap(label, b)
+        ),
+        # Local only as a trailing-scope statement (parser shape)
+        st.tuples(st.lists(_names, min_size=1, max_size=2, unique=True), sub).map(
+            lambda t: A.Local([SignalDecl(n, "local") for n in t[0]], t[1])
+        ),
+    ]
+    return st.one_of(leaf, *composite)
+
+
+def printable_statements(max_depth: int = 3):
+    return _printable_stmts(max_depth, ())

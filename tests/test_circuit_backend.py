@@ -1,0 +1,201 @@
+"""Circuit-level unit tests: netlist construction, translation interface,
+the optimizer, static cycle analysis, and the scheduler engine."""
+
+import pytest
+
+from repro import CompileOptions, compile_module, parse_module
+from repro.compiler.analysis import cycle_warnings, find_cycles
+from repro.compiler.netlist import ACTION, AND, EXPR, INPUT, OR, REG, Circuit, lit
+from repro.compiler.optimize import optimize_circuit
+from repro.errors import CausalityError
+from repro.runtime.scheduler import Scheduler
+
+
+class TestNetlist:
+    def test_net_kinds_and_stats(self):
+        circ = Circuit("t")
+        a = circ.input_net("a")
+        b = circ.input_net("b")
+        gate = circ.gate_or([lit(a), lit(b, negated=True)], "g")
+        reg = circ.register("r")
+        circ.set_register_input(reg, lit(gate))
+        stats = circ.stats()
+        assert stats["gates"] == 1
+        assert stats["registers"] == 1
+        assert stats["inputs"] == 2
+
+    def test_constants_are_shared(self):
+        circ = Circuit("t")
+        assert circ.const0() is circ.const0()
+        assert circ.const1() is circ.const1()
+
+    def test_or_into_extends_gate(self):
+        circ = Circuit("t")
+        gate = circ.gate_or([], "fwd")
+        a = circ.input_net("a")
+        circ.or_into(gate, lit(a))
+        assert gate.inputs == [lit(a)]
+
+    def test_memory_estimate_positive_and_monotone(self):
+        small = compile_module(parse_module("module A(out O) { emit O }"))
+        big = compile_module(
+            parse_module(
+                "module B(in I, out O) { loop { await I.now; emit O; yield } }"
+            )
+        )
+        assert 0 < small.circuit.memory_estimate() < big.circuit.memory_estimate()
+
+
+class TestSchedulerEngine:
+    def _simple_circuit(self):
+        circ = Circuit("s")
+        a = circ.input_net("a")
+        b = circ.input_net("b")
+        both = circ.gate_and([lit(a), lit(b)], "both")
+        either = circ.gate_or([lit(a), lit(b)], "either")
+        circ.k0_net = circ.gate_or([lit(both)], "k0")
+        circ.k1_net = circ.gate_or([lit(either)], "k1")
+        circ.sel_net = circ.gate_or([], "sel")
+        return circ, a, b, both, either
+
+    def test_propagation(self):
+        circ, a, b, both, either = self._simple_circuit()
+        sched = Scheduler(circ, host=None)
+        sched.react({a.id: True})
+        assert sched.values[both.id] is False
+        assert sched.values[either.id] is True
+
+    def test_unlisted_inputs_default_absent(self):
+        circ, a, b, both, either = self._simple_circuit()
+        sched = Scheduler(circ, host=None)
+        sched.react({})
+        assert sched.values[either.id] is False
+
+    def test_register_latch(self):
+        circ = Circuit("r")
+        a = circ.input_net("a")
+        reg = circ.register("mem")
+        circ.set_register_input(reg, lit(a))
+        out = circ.gate_or([lit(reg)], "out")
+        sched = Scheduler(circ, host=None)
+        sched.react({a.id: True})
+        assert sched.values[out.id] is False  # register shows OLD state
+        sched.react({})
+        assert sched.values[out.id] is True  # latched from last instant
+
+    def test_combinational_cycle_detected(self):
+        circ = Circuit("c")
+        fwd = circ.gate_or([], "x")
+        inv = circ.gate_and([lit(fwd, negated=True)], "notx")
+        circ.or_into(fwd, lit(inv))  # x = !x
+        sched = Scheduler(circ, host=None)
+        with pytest.raises(CausalityError):
+            sched.react({})
+
+    def test_stabilizing_cycle_ok(self):
+        # x = x OR a : with a=1 the cycle stabilizes to 1
+        circ = Circuit("c")
+        a = circ.input_net("a")
+        fwd = circ.gate_or([], "x")
+        circ.or_into(fwd, lit(a))
+        circ.or_into(fwd, lit(fwd))
+        sched = Scheduler(circ, host=None)
+        sched.react({a.id: True})
+        assert sched.values[fwd.id] is True
+        # with a=0 the cycle is x = x: non-constructive
+        with pytest.raises(CausalityError):
+            sched.react({})
+
+
+class TestOptimizer:
+    def _compile(self, source, optimize):
+        return compile_module(
+            parse_module(source), options=CompileOptions(optimize=optimize)
+        )
+
+    def test_optimizer_shrinks_circuits(self):
+        src = """
+        module M(in A, in B, in R, out O) {
+          do {
+            fork { await A.now } par { await B.now }
+            emit O
+          } every (R.now)
+        }
+        """
+        raw = self._compile(src, optimize=False).stats()["nets"]
+        opt = self._compile(src, optimize=True).stats()["nets"]
+        assert opt < raw
+
+    def test_optimizer_preserves_interface_tables(self):
+        src = "module M(in I, out O) { await I.now; emit O }"
+        compiled = self._compile(src, optimize=True)
+        circ = compiled.circuit
+        for info in circ.interface.values():
+            assert circ.nets[info.status_net.id] is info.status_net
+            if info.input_net is not None:
+                assert circ.nets[info.input_net.id] is info.input_net
+        assert circ.nets[circ.k0_net.id] is circ.k0_net
+
+    def test_dedup_merges_identical_gates(self):
+        circ = Circuit("d")
+        a = circ.input_net("a")
+        b = circ.input_net("b")
+        g1 = circ.gate_or([lit(a), lit(b)], "g1")
+        g2 = circ.gate_or([lit(b), lit(a)], "g2")
+        top = circ.gate_and([lit(g1), lit(g2)], "top")
+        circ.k0_net = circ.gate_or([lit(top)], "k0")
+        circ.k1_net = circ.gate_or([], "k1")
+        circ.sel_net = circ.gate_or([], "sel")
+        optimize_circuit(circ)
+        survivors = [n for n in circ.nets if n.label in ("g1", "g2")]
+        assert len(survivors) == 1, "structurally equal gates should merge"
+
+    def test_dead_action_removed(self):
+        circ = Circuit("dead")
+        never = circ.const0()
+        circ.action_net(lit(never), lambda rt: None, (), "dead-action")
+        circ.k0_net = circ.gate_or([], "k0")
+        circ.k1_net = circ.gate_or([], "k1")
+        circ.sel_net = circ.gate_or([], "sel")
+        optimize_circuit(circ)
+        assert all(n.kind != ACTION for n in circ.nets)
+
+
+class TestCycleAnalysis:
+    def test_no_false_positives_on_paper_login(self):
+        from repro.apps.login import login_table
+
+        table = login_table()
+        compiled = compile_module(table.get("Main"), table)
+        assert compiled.warnings == []
+
+    def test_detects_static_cycle(self):
+        compiled = compile_module(
+            parse_module("module M(out X) { if (!X.now) { emit X } }")
+        )
+        assert any("cycle" in w for w in compiled.warnings)
+
+    def test_find_cycles_returns_nets(self):
+        circ = compile_module(
+            parse_module("module M(out X) { if (!X.now) { emit X } }"),
+            options=CompileOptions(check_cycles=False),
+        ).circuit
+        cycles = find_cycles(circ)
+        assert cycles and all(len(c) >= 1 for c in cycles)
+
+
+class TestCompletionWires:
+    def test_root_k0_reflects_termination(self):
+        compiled = compile_module(parse_module("module M(out O) { emit O }"))
+        from repro import ReactiveMachine
+
+        m = ReactiveMachine(compiled)
+        result = m.react({})
+        assert result.terminated and not result.paused
+
+    def test_root_k1_reflects_pause(self):
+        from repro import ReactiveMachine
+
+        m = ReactiveMachine(parse_module("module M(out O) { yield; emit O }"))
+        result = m.react({})
+        assert result.paused and not result.terminated

@@ -1,0 +1,98 @@
+"""Counted delays: ``await count``, ``abort count``, every-with-count,
+re-arming on restart."""
+
+from tests.helpers import check_trace, machine_for, presence_trace
+
+
+class TestAwaitCount:
+    def test_await_count_terminates_on_nth(self):
+        src = """
+        module M(in S, out O) {
+          await count(3, S.now);
+          emit O
+        }
+        """
+        # delayed semantics: the boot-instant S does not count
+        check_trace(src, [{"S"}, {"S"}, None, {"S"}, {"S"}],
+                    [set(), set(), set(), set(), {"O"}])
+
+    def test_count_of_one_behaves_like_await(self):
+        src = "module M(in S, out O) { await count(1, S.now); emit O }"
+        check_trace(src, [None, {"S"}], [set(), {"O"}])
+
+    def test_count_expression_evaluated_at_start(self):
+        src = """
+        module M(in S, in N = 2, out O) {
+          await count(N.nowval, S.now);
+          emit O
+        }
+        """
+        m = machine_for(src)
+        # N sampled at the start instant (default 2); changing it later
+        # must not matter
+        assert presence_trace(m, [None, {"N": 5, "S": True}, {"S"}]) == [
+            set(),
+            set(),
+            {"O"},
+        ]
+
+    def test_counter_rearms_on_loop_restart(self):
+        src = """
+        module M(in S, out O) {
+          loop { await count(2, S.now); emit O }
+        }
+        """
+        check_trace(src, [{"S"}, {"S"}, {"S"}, {"S"}, {"S"}],
+                    [set(), set(), {"O"}, set(), {"O"}])
+
+
+class TestAbortCount:
+    def test_abort_count(self):
+        src = """
+        module M(in S, out T, out D) {
+          abort count(2, S.now) { loop { emit T; yield } }
+          emit D
+        }
+        """
+        check_trace(src, [None, {"S"}, None, {"S"}],
+                    [{"T"}, {"T"}, {"T"}, {"D"}])
+
+    def test_paper_phase3_pattern(self):
+        # abort count(Min, Mn) { every (Try) { emit Error } }
+        src = """
+        module M(in Mn, in Try, out Err, out Done) {
+          abort count(3, Mn.now) {
+            every (Try.now) { emit Err }
+          }
+          emit Done
+        }
+        """
+        m = machine_for(src)
+        trace = presence_trace(
+            m, [None, {"Try"}, {"Mn"}, {"Try"}, {"Mn"}, {"Mn"}, {"Try"}]
+        )
+        assert trace == [set(), {"Err"}, set(), {"Err"}, set(), {"Done"}, set()]
+
+
+class TestEveryCount:
+    def test_every_count(self):
+        src = """
+        module M(in S, out O) {
+          every count(2, S.now) { emit O }
+        }
+        """
+        check_trace(src, [{"S"}, {"S"}, {"S"}, {"S"}, {"S"}],
+                    [set(), set(), {"O"}, set(), {"O"}])
+
+    def test_guarded_count_only_counts_when_guard_true(self):
+        src = """
+        module M(in S, in G, out O) {
+          await count(2, S.now && G.now);
+          emit O
+        }
+        """
+        check_trace(
+            src,
+            [{"S"}, {"S", "G"}, {"G"}, {"S", "G"}],
+            [set(), set(), set(), {"O"}],
+        )

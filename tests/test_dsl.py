@@ -1,0 +1,141 @@
+"""The builder DSL (repro.lang.dsl): every constructor, coercions, and
+parity with parsed programs."""
+
+import pytest
+
+from repro import ReactiveMachine, parse_module, parse_statement
+from repro.lang import ast as A
+from repro.lang import dsl as hh
+from repro.lang import expr as E
+
+
+class TestExprCoercion:
+    def test_scalars_become_literals(self):
+        assert hh.expr(5) == E.Lit(5)
+        assert hh.expr(None) == E.Lit(None)
+        assert hh.expr(True) == E.Lit(True)
+
+    def test_strings_are_parsed(self):
+        expr = hh.expr("a.now && b.nowval > 2")
+        assert expr.current_signal_deps() == {"a", "b"}
+
+    def test_value_expr_keeps_strings_literal(self):
+        assert hh.value_expr("a.now") == E.Lit("a.now")
+
+    def test_sig_helpers(self):
+        assert hh.sig("x") == E.SigRef("x", "now")
+        assert hh.pre("x") == E.SigRef("x", "pre")
+        assert hh.nowval("x") == E.SigRef("x", "nowval")
+        assert hh.preval("x") == E.SigRef("x", "preval")
+
+    def test_host_wrapper_declares_deps(self):
+        wrapped = hh.host(lambda env: 1, deps=["a"])
+        assert "a" in wrapped.current_signal_deps()
+
+
+class TestStatementBuilders:
+    def test_seq_flattens_and_collapses(self):
+        assert hh.seq() == A.Nothing()
+        assert hh.seq(hh.pause()) == A.Pause()
+        stmt = hh.seq(hh.seq(hh.emit("A"), hh.emit("B")), hh.emit("C"))
+        assert isinstance(stmt, A.Seq) and len(stmt.items) == 3
+
+    def test_par_single_branch_collapses(self):
+        assert hh.par(hh.pause()) == A.Pause()
+        assert isinstance(hh.par(hh.pause(), hh.pause()), A.Par)
+
+    def test_delay_helpers(self):
+        d = hh.immediate(hh.sig("S"))
+        assert d.immediate
+        d = hh.count(3, hh.sig("S"))
+        assert d.count == E.Lit(3)
+        # already-a-delay passes through
+        assert hh.delay(d) is d
+
+    def test_every_and_await_count(self):
+        stmt = hh.every(hh.count(2, hh.sig("S")), hh.emit("O"))
+        assert stmt.delay.count == E.Lit(2)
+        stmt = hh.await_count(4, hh.sig("S"))
+        assert stmt.delay.count == E.Lit(4)
+
+    def test_trap_break(self):
+        stmt = hh.trap("T", hh.break_("T"))
+        assert isinstance(stmt, A.Trap) and isinstance(stmt.body, A.Break)
+
+    def test_local_with_string_decls(self):
+        stmt = hh.local("a, b = 3", hh.emit("a"))
+        assert [d.name for d in stmt.decls] == ["a", "b"]
+        assert stmt.decls[1].init == E.Lit(3)
+
+    def test_atom_with_assign(self):
+        stmt = hh.atom(hh.assign("x", 1))
+        assert isinstance(stmt.body[0], A.Assign)
+
+    def test_atom_with_bare_callable(self):
+        stmt = hh.atom(lambda env: None, deps=["s"])
+        assert isinstance(stmt.body[0], A.ExprStmt)
+
+    def test_if_and_present(self):
+        stmt = hh.present("S", hh.emit("T"), hh.emit("E"))
+        assert stmt.test == E.SigRef("S", "now")
+
+    def test_module_with_implements(self):
+        base = hh.module("Base", "in a, out b", hh.halt())
+        derived = hh.module("D", "out c", hh.halt(), implements=base.interface)
+        assert [d.name for d in derived.interface] == ["a", "b", "c"]
+
+    def test_signal_and_var_decl_helpers(self):
+        decl = hh.signal_decl("s", "out", init=3)
+        assert decl.init == E.Lit(3)
+        var = hh.var_decl("v", 7)
+        assert var.init == E.Lit(7)
+
+
+class TestParityWithParser:
+    CASES = [
+        (
+            "abort (S.now) { emit O() }",
+            lambda: hh.abort(hh.sig("S"), hh.emit("O")),
+        ),
+        (
+            "weakabort immediate (S.now) { yield }",
+            lambda: hh.weakabort(hh.immediate(hh.sig("S")), hh.pause()),
+        ),
+        (
+            "suspend (S.now) { sustain O() }",
+            lambda: hh.suspend(hh.sig("S"), hh.sustain("O")),
+        ),
+        (
+            "do { emit O() } every (S.now)",
+            lambda: hh.do_every(hh.emit("O"), hh.sig("S")),
+        ),
+        (
+            "loop { await S.now; emit O() }",
+            lambda: hh.loop(hh.await_(hh.sig("S")), hh.emit("O")),
+        ),
+    ]
+
+    @pytest.mark.parametrize("source,builder", CASES, ids=[c[0] for c in CASES])
+    def test_builder_equals_parser(self, source, builder):
+        assert parse_statement(source) == builder()
+
+    def test_behavioural_parity_abro(self):
+        parsed = parse_module("""
+            module ABRO(in A, in B, in R, out O) {
+              do { fork { await A.now } par { await B.now } emit O }
+              every (R.now)
+            }
+        """)
+        built = hh.module(
+            "ABRO", "in A, in B, in R, out O",
+            hh.do_every(
+                hh.seq(hh.par(hh.await_(hh.sig("A")), hh.await_(hh.sig("B"))),
+                       hh.emit("O")),
+                hh.sig("R"),
+            ),
+        )
+        trace = [{"A": True}, {"B": True}, {"R": True}, {"A": True, "B": True}]
+        m1, m2 = ReactiveMachine(parsed), ReactiveMachine(built)
+        m1.react({}); m2.react({})
+        for step in trace:
+            assert set(m1.react(step)) == set(m2.react(step))

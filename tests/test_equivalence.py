@@ -1,0 +1,132 @@
+"""Differential properties: the circuit backend against the independent
+constructive interpreter, plus machine determinism.
+
+These are the strongest correctness checks in the suite: two unrelated
+implementations of the semantics (ternary circuit simulation vs Must/Can
+behavioral analysis) must agree reaction-per-reaction on random programs,
+including on *which* programs are causality errors.
+"""
+
+import pytest
+from hypothesis import given, settings, HealthCheck
+
+from repro import CausalityError, CompileOptions, ReactiveMachine
+from repro.interp import Interpreter, UnsupportedProgram
+from tests.strategies import input_traces, pure_modules
+
+_SETTINGS = dict(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def _run_machine(module, trace):
+    machine = ReactiveMachine(module)
+    outputs = []
+    for step in trace:
+        result = machine.react({name: True for name in step})
+        outputs.append(frozenset(result))
+        if machine.terminated:
+            break
+    return outputs
+
+
+def _run_interp(module, trace):
+    interp = Interpreter(module)
+    outputs = []
+    for step in trace:
+        outputs.append(frozenset(interp.react(step)))
+        if interp.terminated:
+            break
+    return outputs
+
+
+@settings(**_SETTINGS)
+@given(pure_modules(), input_traces())
+def test_circuit_matches_interpreter(module, trace):
+    try:
+        interp_outputs = _run_interp(module, trace)
+        interp_error = None
+    except CausalityError:
+        interp_outputs = None
+        interp_error = True
+    except UnsupportedProgram:
+        return  # outside the oracle's subset
+
+    try:
+        circuit_outputs = _run_machine(module, trace)
+        circuit_error = None
+    except CausalityError:
+        circuit_outputs = None
+        circuit_error = True
+
+    assert circuit_error == interp_error, (
+        f"one backend deadlocked, the other did not\n{module.body!r}\n{trace}"
+    )
+    if circuit_outputs is not None:
+        assert circuit_outputs == interp_outputs, (
+            f"output divergence\n{module.body!r}\ninputs={trace}\n"
+            f"circuit={circuit_outputs}\ninterp={interp_outputs}"
+        )
+
+
+@settings(**_SETTINGS)
+@given(pure_modules(), input_traces())
+def test_machine_is_deterministic(module, trace):
+    try:
+        first = _run_machine(module, trace)
+        second = _run_machine(module, trace)
+    except CausalityError:
+        with pytest.raises(CausalityError):
+            _run_machine(module, trace)
+        return
+    assert first == second
+
+
+@settings(**_SETTINGS)
+@given(pure_modules(), input_traces())
+def test_optimizer_preserves_semantics(module, trace):
+    def run(optimize):
+        machine = ReactiveMachine(module, options=CompileOptions(optimize=optimize))
+        outputs = []
+        for step in trace:
+            result = machine.react({name: True for name in step})
+            outputs.append(frozenset(result))
+            if machine.terminated:
+                break
+        return outputs
+
+    try:
+        optimized = run(True)
+    except CausalityError:
+        with pytest.raises(CausalityError):
+            run(False)
+        return
+    assert optimized == run(False)
+
+
+@settings(**_SETTINGS)
+@given(pure_modules(), input_traces())
+def test_loop_duplication_policies_agree(module, trace):
+    # `always` duplicating every loop must never change observable
+    # behaviour relative to `auto`
+    def run(policy):
+        machine = ReactiveMachine(
+            module, options=CompileOptions(loop_duplication=policy)
+        )
+        outputs = []
+        for step in trace:
+            result = machine.react({name: True for name in step})
+            outputs.append(frozenset(result))
+            if machine.terminated:
+                break
+        return outputs
+
+    try:
+        auto = run("auto")
+    except CausalityError:
+        with pytest.raises(CausalityError):
+            run("always")
+        return
+    assert auto == run("always")

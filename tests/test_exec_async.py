@@ -1,0 +1,204 @@
+"""The ``async``/exec statement (paper section 2.2.4): start, notify,
+kill cleanup, preemption discarding pending completions, suspension
+hooks, and the DSL's callable form."""
+
+from repro import ReactiveMachine, parse_module
+from repro.host import SimulatedLoop
+from repro.lang import dsl as hh
+from tests.helpers import machine_for
+
+
+class TestNotify:
+    def test_notify_completes_and_emits_signal(self):
+        events = []
+        handles = []
+
+        def start(ctx):
+            handles.append(ctx)
+            events.append("started")
+
+        mod = hh.module(
+            "M", "in go, out done",
+            hh.every(hh.sig("go"),
+                     hh.seq(hh.exec_(start, signal="done"),
+                            hh.emit_value("after", True))),
+        )
+        mod = hh.module(
+            "M", "in go, out done, out after",
+            hh.every(hh.sig("go"),
+                     hh.seq(hh.exec_(start, signal="done"),
+                            hh.emit("after"))),
+        )
+        m = ReactiveMachine(mod)
+        m.react({})
+        m.react({"go": True})
+        assert events == ["started"]
+        handles[0].notify(99)
+        assert m.done.now and m.done.nowval == 99
+        assert m.after.now
+
+    def test_stale_notify_discarded(self):
+        handles = []
+        mod = hh.module(
+            "M", "in go, out done",
+            hh.every(hh.sig("go"), hh.exec_(lambda ctx: handles.append(ctx), signal="done")),
+        )
+        m = ReactiveMachine(mod)
+        m.react({})
+        m.react({"go": True})
+        first = handles[0]
+        m.react({"go": True})  # preempt and restart: new invocation
+        first.notify("stale")
+        assert not m.done.now
+        handles[1].notify("fresh")
+        assert m.done.nowval == "fresh"
+
+    def test_notify_without_signal_terminates(self):
+        handles = []
+        mod = hh.module(
+            "M", "in go, out after",
+            hh.seq(hh.exec_(lambda ctx: handles.append(ctx)), hh.emit("after")),
+        )
+        m = ReactiveMachine(mod)
+        m.react({})
+        assert not m.after.now
+        handles[0].notify()
+        assert m.after.now
+
+
+class TestKill:
+    def test_kill_handler_on_abort(self):
+        events = []
+        mod = hh.module(
+            "M", "in stop, out done",
+            hh.abort(hh.sig("stop"),
+                     hh.exec_(lambda ctx: events.append("start"),
+                              signal="done",
+                              kill=lambda ctx: events.append("kill"))),
+        )
+        m = ReactiveMachine(mod)
+        m.react({})
+        m.react({"stop": True})
+        assert events == ["start", "kill"]
+
+    def test_kill_handler_on_trap_exit(self):
+        events = []
+        mod = hh.module(
+            "M", "in out_, out done",
+            hh.trap("T",
+                    hh.par(
+                        hh.exec_(lambda ctx: events.append("start"),
+                                 signal="done",
+                                 kill=lambda ctx: events.append("kill")),
+                        hh.seq(hh.await_(hh.sig("out_")), hh.break_("T")),
+                    )),
+        )
+        m = ReactiveMachine(mod)
+        m.react({})
+        m.react({"out_": True})
+        assert events == ["start", "kill"]
+
+    def test_every_restart_kills_then_starts(self):
+        events = []
+
+        def start(ctx):
+            events.append("start")
+
+        def kill(ctx):
+            events.append("kill")
+
+        mod = hh.module(
+            "M", "in go, out done",
+            hh.every(hh.sig("go"), hh.exec_(start, signal="done", kill=kill)),
+        )
+        m = ReactiveMachine(mod)
+        m.react({})
+        m.react({"go": True})
+        m.react({"go": True})
+        assert events == ["start", "kill", "start"]
+
+    def test_no_kill_after_completion(self):
+        events = []
+        handles = []
+        mod = hh.module(
+            "M", "in stop, out done",
+            hh.abort(hh.sig("stop"),
+                     hh.seq(
+                         hh.exec_(lambda ctx: handles.append(ctx),
+                                  signal="done",
+                                  kill=lambda ctx: events.append("kill")),
+                         hh.halt())),
+        )
+        m = ReactiveMachine(mod)
+        m.react({})
+        handles[0].notify(1)
+        m.react({"stop": True})
+        assert events == []
+
+
+class TestTextualAsync:
+    def test_timer_module_counts_and_cleans_up(self):
+        loop = SimulatedLoop()
+        src = """
+        module M(in stop, inout t = 0, out done) {
+          abort (stop.now) {
+            async {
+              this.react({[t.signame]: this.n = 0});
+              this.intv = setInterval(() => this.react({[t.signame]: ++this.n}), 1000)
+            } kill {
+              clearInterval(this.intv)
+            }
+          }
+          emit done
+        }
+        """
+        m = machine_for(src, host_globals=loop.bindings())
+        m.attach_loop(loop)
+        m.react({})
+        loop.advance_seconds(3)
+        assert m.t.nowval == 3
+        m.react({"stop": True})
+        assert m.done.now
+        loop.advance_seconds(5)
+        assert m.t.nowval == 3  # interval was cleared
+
+    def test_async_body_reads_signal_values_at_start(self):
+        loop = SimulatedLoop()
+        captured = []
+        src = """
+        module M(in x = 0, in go, out done) {
+          every (go.now) {
+            async done {
+              capture(x.nowval);
+              this.notify(x.nowval * 2)
+            }
+          }
+        }
+        """
+        m = machine_for(
+            src, host_globals={"capture": captured.append, **loop.bindings()}
+        )
+        m.attach_loop(loop)
+        m.react({})
+        m.react({"x": 21, "go": True})
+        loop.flush_soon()
+        assert captured == [21]
+        assert m.done.nowval == 42
+
+
+class TestSuspendHooks:
+    def test_suspend_and_resume_callbacks(self):
+        events = []
+        mod = hh.module(
+            "M", "in hold, out done",
+            hh.suspend(hh.sig("hold"),
+                       hh.exec_(lambda ctx: events.append("start"),
+                                signal="done",
+                                on_suspend=lambda ctx: events.append("susp"),
+                                on_resume=lambda ctx: events.append("res"))),
+        )
+        m = ReactiveMachine(mod)
+        m.react({})
+        m.react({"hold": True})
+        m.react({})
+        assert events == ["start", "susp", "res"]

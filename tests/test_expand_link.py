@@ -1,0 +1,191 @@
+"""Macro expansion and module linking (run inlining, renaming, vars)."""
+
+import pytest
+
+from repro import LinkError, parse_program, parse_statement, ReactiveMachine
+from repro.compiler.expand import expand_statement, expand_module
+from repro.lang import ast as A
+from repro.lang.validate import instant_codes, validate_statement
+from repro.errors import InstantaneousLoopError, ValidationError
+from repro.lang.signals import SignalDecl
+from tests.helpers import check_trace, machine_for
+
+
+def _kernel_types(stmt):
+    return {type(node).__name__ for node in expand_statement(stmt).walk()}
+
+
+class TestExpansion:
+    def test_halt_becomes_loop_pause(self):
+        assert _kernel_types(parse_statement("halt")) == {"Loop", "Pause"}
+
+    def test_sustain_becomes_loop_emit_pause(self):
+        types = _kernel_types(parse_statement("sustain S()"))
+        assert types == {"Loop", "Seq", "Emit", "Pause"}
+
+    def test_await_becomes_abort_over_halt(self):
+        types = _kernel_types(parse_statement("await S.now"))
+        assert "Abort" in types and "Loop" in types
+
+    def test_weakabort_becomes_trap_par(self):
+        types = _kernel_types(parse_statement("weakabort (S.now) { halt }"))
+        assert "Trap" in types and "Par" in types and "Break" in types
+
+    def test_every_strips_immediate_from_restart(self):
+        stmt = parse_statement("every immediate (S.now) { nothing; yield }")
+        kernel = expand_statement(stmt)
+        aborts = [n for n in kernel.walk() if isinstance(n, A.Abort)]
+        # first await keeps immediate; the loop-each abort must not
+        immediates = sorted(a.delay.immediate for a in aborts)
+        assert immediates == [False, True]
+
+    def test_seq_flattening(self):
+        stmt = parse_statement("nothing; nothing; emit S")
+        kernel = expand_statement(stmt)
+        assert kernel == A.Emit("S")
+
+    def test_kernel_statements_pass_through(self):
+        stmt = parse_statement("fork { yield } par { emit S }")
+        assert expand_statement(stmt) == stmt
+
+
+class TestLinking:
+    def test_run_inlines_by_name(self):
+        src = """
+        module Emitter(out O) { emit O }
+        module M(out O) { run Emitter(...) }
+        """
+        check_trace(src, [None], [{"O"}], entry="M")
+
+    def test_as_binding_interface_first(self):
+        src = """
+        module Inner(in sig, out result) { await sig.now; emit result }
+        module M(in connected, out done) {
+          run Inner(sig as connected, result as done)
+        }
+        """
+        check_trace(src, [None, {"connected"}], [set(), {"done"}], entry="M")
+
+    def test_as_binding_environment_first(self):
+        # the paper's `run Timer(tmo as time)` order
+        src = """
+        module Inner(in time, out fired) { await time.now; emit fired }
+        module M(in tmo, out fired) { run Inner(tmo as time, ...) }
+        """
+        check_trace(src, [None, {"tmo"}], [set(), {"fired"}], entry="M")
+
+    def test_bad_binding_rejected(self):
+        src = """
+        module Inner(in a) { nothing }
+        module M(in x) { run Inner(nope as alsonope) }
+        """
+        table = parse_program(src)
+        with pytest.raises(LinkError):
+            ReactiveMachine(table.get("M"), modules=table)
+
+    def test_unknown_module(self):
+        table = parse_program("module M(out O) { run Ghost(...) }")
+        with pytest.raises(LinkError):
+            ReactiveMachine(table.get("M"), modules=table)
+
+    def test_recursive_instantiation_rejected(self):
+        src = """
+        module A(out O) { run B(...) }
+        module B(out O) { run A(...) }
+        """
+        # parse order: B's run A resolves; A's run B is by name
+        table = parse_program(
+            "module A(out O) { nothing }" + src.replace("module A(out O) { run B(...) }", "")
+        )
+        # direct self-recursion
+        table2 = parse_program("module R(out O) { nothing }")
+        import repro.lang.ast as ast
+
+        rec = ast.Module("R", [SignalDecl("O", "out")], ast.Run("R"))
+        table2.add(rec)
+        with pytest.raises(LinkError):
+            ReactiveMachine(rec, modules=table2)
+
+    def test_unknown_var_arg_rejected(self):
+        src = """
+        module Inner(var n, out O) { emit O(n) }
+        module M(out O) { run Inner(bogus=1, ...) }
+        """
+        table = parse_program(src)
+        with pytest.raises(LinkError):
+            ReactiveMachine(table.get("M"), modules=table)
+
+    def test_var_default_used_when_not_passed(self):
+        src = """
+        module Inner(var n = 7, out O) { emit O(n) }
+        module M(out O) { run Inner(...) }
+        """
+        m = machine_for(src, entry="M")
+        assert m.react({})["O"] == 7
+
+    def test_module_local_signals_do_not_leak(self):
+        src = """
+        module Inner(out O) { signal S; emit S; if (S.now) { emit O } }
+        module M(in S, out O) { run Inner(...) }
+        """
+        # Inner's local S must not bind to M's input S
+        m = machine_for(src, entry="M")
+        assert m.react({}).present("O")
+
+    def test_nested_runs(self):
+        src = """
+        module C(out O) { emit O }
+        module B(out O) { run C(...) }
+        module A(out O) { run B(...) }
+        """
+        check_trace(src, [None], [{"O"}], entry="A")
+
+
+class TestValidation:
+    def test_instantaneous_loop_rejected(self):
+        with pytest.raises(InstantaneousLoopError):
+            machine_for("module M(out O) { loop { emit O } }")
+
+    def test_conditionally_instantaneous_loop_rejected(self):
+        with pytest.raises(InstantaneousLoopError):
+            machine_for(
+                "module M(in I, out O) { loop { if (I.now) { yield } } }"
+            )
+
+    def test_loop_with_unconditional_pause_accepted(self):
+        machine_for("module M(in I, out O) { loop { if (I.now) { emit O } yield } }")
+
+    def test_loop_exiting_trap_instantly_ok(self):
+        # body never *terminates* (code 0): it escapes via the trap
+        machine_for(
+            "module M(out O) { T: { loop { break T } } emit O }"
+        )
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(ValidationError):
+            machine_for("module M(out O) { emit Ghost }")
+
+    def test_unknown_signal_in_expression_rejected(self):
+        with pytest.raises(ValidationError):
+            machine_for("module M(out O) { if (ghost.now) { emit O } }")
+
+    def test_emitting_pure_input_rejected(self):
+        with pytest.raises(ValidationError):
+            machine_for("module M(in I) { emit I }")
+
+    def test_emitting_inout_allowed(self):
+        machine_for("module M(inout S) { emit S }")
+
+    def test_unbound_break_rejected(self):
+        with pytest.raises(ValidationError):
+            machine_for("module M(out O) { break Nowhere }")
+
+    def test_instant_codes_analysis(self):
+        assert 0 in instant_codes(parse_statement("nothing"))
+        assert 0 not in instant_codes(parse_statement("yield"))
+        assert 0 in instant_codes(parse_statement("fork { nothing } par { emit S }"))
+        assert 0 not in instant_codes(parse_statement("fork { nothing } par { yield }"))
+        codes = instant_codes(parse_statement("T: { break T }"))
+        assert codes == frozenset({0})
+        assert 0 in instant_codes(parse_statement("abort immediate (S.now) { halt }"))
+        assert 0 not in instant_codes(parse_statement("abort (S.now) { halt }"))

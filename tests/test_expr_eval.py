@@ -1,0 +1,119 @@
+"""Host-expression evaluation semantics (JavaScript-flavoured)."""
+
+import pytest
+
+from repro.lang import expr as E
+from repro.syntax import parse_expression
+
+
+def ev(source, signals=None, bindings=None):
+    env = E.DictEnv(signals or {}, bindings or {})
+    return parse_expression(source).eval(env)
+
+
+SIG = {"S": (True, False, 10, 5), "T": (False, True, "ab", "cd")}
+
+
+class TestEval:
+    def test_arithmetic(self):
+        assert ev("1 + 2 * 3") == 7
+        assert ev("(1 + 2) * 3") == 9
+        assert ev("7 % 3") == 1
+
+    def test_comparisons(self):
+        assert ev("2 < 3") is True
+        assert ev("2 >= 3") is False
+        assert ev("2 == 2.0") is True
+
+    def test_strict_equality_checks_type(self):
+        assert ev("2 === 2") is True
+        assert ev("2 === 2.0") is False
+        assert ev("2 !== '2'") is True
+
+    def test_short_circuit_and_returns_operand(self):
+        assert ev("0 && boom", bindings={"boom": None}) == 0
+        assert ev("'' || 'fallback'") == "fallback"
+        assert ev("1 && 'x'") == "x"
+
+    def test_truthiness_js_style(self):
+        assert ev("!0") is True
+        assert ev("!''") is True
+        assert ev("!null") is True
+        # empty arrays are truthy in JS
+        assert ev("![]") is False
+
+    def test_ternary(self):
+        assert ev("1 < 2 ? 'a' : 'b'") == "a"
+
+    def test_signal_accesses(self):
+        assert ev("S.now", SIG) is True
+        assert ev("S.pre", SIG) is False
+        assert ev("S.nowval + 1", SIG) == 11
+        assert ev("S.preval", SIG) == 5
+        assert ev("T.nowval.length", SIG) == 2
+
+    def test_length_on_strings_and_lists(self):
+        assert ev("x.length", bindings={"x": [1, 2, 3]}) == 3
+        assert ev("'hello'.length") == 5
+
+    def test_attr_on_dict(self):
+        assert ev("obj.key", bindings={"obj": {"key": 7}}) == 7
+
+    def test_index(self):
+        assert ev("xs[1]", bindings={"xs": [4, 5, 6]}) == 5
+
+    def test_call(self):
+        assert ev("f(2, 3)", bindings={"f": lambda a, b: a * b}) == 6
+
+    def test_lambda_closure(self):
+        fn = ev("x => x + base", bindings={"base": 10})
+        assert fn(5) == 15
+
+    def test_lambda_param_shadows(self):
+        fn = ev("x => x", bindings={"x": 99})
+        assert fn(1) == 1
+
+    def test_object_literal_and_computed_key(self):
+        value = ev("{[S.signame]: S.nowval, plain: 2}", SIG)
+        assert value == {"S": 10, "plain": 2}
+
+    def test_assignment_expression(self):
+        env = E.DictEnv({}, {"x": 0})
+        parse_expression("x = 5").eval(env)
+        assert env.bindings["x"] == 5
+
+    def test_increment(self):
+        env = E.DictEnv({}, {"n": 1})
+        assert parse_expression("++n").eval(env) == 2
+        assert env.bindings["n"] == 2
+
+    def test_unbound_identifier(self):
+        with pytest.raises(E.EvalError):
+            ev("nosuch")
+
+    def test_host_call_error_wrapped(self):
+        with pytest.raises(E.EvalError):
+            ev("f()", bindings={"f": lambda: 1 / 0})
+
+
+class TestAnalysis:
+    def test_signal_deps(self):
+        expr = parse_expression("a.now && b.nowval > c.preval + d.pre")
+        deps = expr.signal_deps()
+        assert ("a", "now") in deps and ("b", "nowval") in deps
+        assert expr.current_signal_deps() == {"a", "b"}
+
+    def test_free_vars_exclude_lambda_params(self):
+        expr = parse_expression("xs.map(x => x + offset)")
+        assert "offset" in expr.free_vars()
+        assert "x" not in expr.free_vars()
+
+    def test_rename_signals(self):
+        expr = parse_expression("sig.now && sig.nowval > tmo.nowval")
+        renamed = expr.rename_signals({"sig": "connected"})
+        assert renamed.current_signal_deps() == {"connected", "tmo"}
+
+    def test_rename_preserves_original(self):
+        expr = parse_expression("a.now")
+        expr.rename_signals({"a": "b"})
+        assert expr.signal == "a"

@@ -1,0 +1,197 @@
+"""Host substrate: virtual-time loop, simulated services, virtual DOM."""
+
+import pytest
+
+from repro.dom import Document, Element, ReactNode
+from repro.host import AuthService, SimulatedLoop
+
+
+class TestSimulatedLoop:
+    def test_timeout_fires_once(self):
+        loop = SimulatedLoop()
+        fired = []
+        loop.set_timeout(lambda: fired.append(loop.now_ms), 100)
+        loop.advance(99)
+        assert fired == []
+        loop.advance(1)
+        assert fired == [100.0]
+        loop.advance(1000)
+        assert fired == [100.0]
+
+    def test_interval_fires_periodically(self):
+        loop = SimulatedLoop()
+        fired = []
+        loop.set_interval(lambda: fired.append(loop.now_ms), 250)
+        loop.advance(1000)
+        assert fired == [250.0, 500.0, 750.0, 1000.0]
+
+    def test_clear_interval(self):
+        loop = SimulatedLoop()
+        fired = []
+        handle = loop.set_interval(lambda: fired.append(1), 100)
+        loop.advance(250)
+        loop.clear_interval(handle)
+        loop.advance(1000)
+        assert len(fired) == 2
+
+    def test_clear_is_none_safe(self):
+        SimulatedLoop().clear_interval(None)
+
+    def test_timers_fire_in_order(self):
+        loop = SimulatedLoop()
+        order = []
+        loop.set_timeout(lambda: order.append("b"), 20)
+        loop.set_timeout(lambda: order.append("a"), 10)
+        loop.set_timeout(lambda: order.append("c"), 30)
+        loop.advance(100)
+        assert order == ["a", "b", "c"]
+
+    def test_call_soon_runs_before_timers(self):
+        loop = SimulatedLoop()
+        order = []
+        loop.set_timeout(lambda: order.append("timer"), 5)
+        loop.call_soon(lambda: order.append("soon"))
+        loop.advance(10)
+        assert order == ["soon", "timer"]
+
+    def test_nested_timeouts(self):
+        loop = SimulatedLoop()
+        fired = []
+
+        def outer():
+            loop.set_timeout(lambda: fired.append("inner"), 50)
+
+        loop.set_timeout(outer, 50)
+        loop.advance(100)
+        assert fired == ["inner"]
+
+    def test_run_until_idle(self):
+        loop = SimulatedLoop()
+        fired = []
+        loop.set_timeout(lambda: fired.append(1), 5000)
+        loop.run_until_idle()
+        assert fired == [1]
+
+    def test_interval_requires_positive_period(self):
+        with pytest.raises(ValueError):
+            SimulatedLoop().set_interval(lambda: None, 0)
+
+    def test_bindings_surface(self):
+        loop = SimulatedLoop()
+        bindings = loop.bindings()
+        fired = []
+        handle = bindings["setInterval"](lambda: fired.append(1), 100)
+        loop.advance(250)
+        bindings["clearInterval"](handle)
+        loop.advance(500)
+        assert len(fired) == 2
+
+
+class TestAuthService:
+    def test_grants_valid_credentials_after_latency(self):
+        loop = SimulatedLoop()
+        svc = AuthService(loop, {"u": "p"}, latency_ms=100)
+        got = []
+        svc("u", "p").post().then(got.append)
+        loop.advance(50)
+        assert got == []
+        loop.advance(60)
+        assert got == [True]
+
+    def test_denies_bad_credentials(self):
+        loop = SimulatedLoop()
+        svc = AuthService(loop, {"u": "p"}, latency_ms=10)
+        got = []
+        svc("u", "wrong").post().then(got.append)
+        loop.advance(20)
+        assert got == [False]
+
+    def test_request_log(self):
+        loop = SimulatedLoop()
+        svc = AuthService(loop, {"u": "p"}, latency_ms=10)
+        svc("u", "p").post()
+        svc("x", "y").post()
+        loop.advance(20)
+        assert [(name, ok) for _t, name, ok in svc.log] == [("u", True), ("x", False)]
+
+    def test_outage_mode(self):
+        loop = SimulatedLoop()
+        svc = AuthService(loop, {"u": "p"}, latency_ms=10)
+        svc.outage_requests = 1
+        got = []
+        svc("u", "p").post().then(got.append)
+        loop.advance(20)
+        svc("u", "p").post().then(got.append)
+        loop.advance(20)
+        assert got == [False, True]
+
+    def test_then_after_completion_still_fires(self):
+        loop = SimulatedLoop()
+        svc = AuthService(loop, {"u": "p"}, latency_ms=10)
+        response = svc("u", "p").post()
+        loop.advance(20)
+        got = []
+        response.then(got.append)
+        loop.advance(1)
+        assert got == [True]
+
+
+class TestDom:
+    def test_react_node_refreshes(self):
+        state = {"text": "one"}
+        doc = Document()
+        node = doc.react_node(lambda: state["text"])
+        assert node.render() == "one"
+        state["text"] = "two"
+        doc.refresh_all()
+        assert node.render() == "two"
+
+    def test_keyup_sets_value_and_fires(self):
+        doc = Document()
+        seen = []
+        box = doc.input(onkeyup=lambda ev: seen.append(ev.value))
+        box.keyup("abc")
+        assert box.value == "abc" and seen == ["abc"]
+
+    def test_disabled_button_swallows_clicks(self):
+        doc = Document()
+        clicks = []
+        button = doc.button("go", onclick=lambda ev: clicks.append(1))
+        button.attrs["disabled"] = True
+        button.click()
+        assert clicks == []
+        button.attrs["disabled"] = False
+        button.click()
+        assert clicks == [1]
+
+    def test_bound_attr_refreshes(self):
+        doc = Document()
+        enabled = {"v": False}
+        button = doc.button("go")
+        button.bind_enabled(lambda: enabled["v"])
+        assert button.attrs["disabled"] is True
+        enabled["v"] = True
+        doc.refresh_all()
+        assert button.attrs["disabled"] is False
+
+    def test_render_text(self):
+        doc = Document()
+        div = doc.div(id="d")
+        div.append("hello")
+        assert '<div id="d">hello</div>' in doc.render()
+
+    def test_find_by_id(self):
+        doc = Document()
+        doc.div(id="target")
+        assert doc.find("target").tag == "div"
+        with pytest.raises(KeyError):
+            doc.find("missing")
+
+    def test_document_hooks_machine_react(self):
+        from tests.helpers import machine_for
+
+        m = machine_for('module M(in I, out O = "") { loop { if (I.now) { emit O("hi") } yield } }')
+        doc = Document(m)
+        node = doc.react_node(lambda: m.O.nowval)
+        m.react({"I": True})
+        assert node.render() == "hi"

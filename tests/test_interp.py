@@ -1,0 +1,123 @@
+"""Unit tests for the reference interpreter itself."""
+
+import pytest
+
+from repro import CausalityError, parse_module
+from repro.interp import Interpreter, UnsupportedProgram
+
+
+def interp(source):
+    return Interpreter(parse_module(source))
+
+
+class TestBasics:
+    def test_emit_at_boot(self):
+        it = interp("module M(out O) { emit O }")
+        assert it.react(set()) == {"O"}
+        assert it.terminated
+
+    def test_pause_sequencing(self):
+        it = interp("module M(out O) { yield; emit O }")
+        assert it.react(set()) == set()
+        assert it.react(set()) == {"O"}
+
+    def test_await_and_loop(self):
+        it = interp("module M(in I, out O) { loop { await I.now; emit O } }")
+        assert it.react(set()) == set()
+        assert it.react({"I"}) == {"O"}
+        assert it.react({"I"}) == {"O"}
+        assert it.react(set()) == set()
+
+    def test_strong_abort(self):
+        it = interp(
+            "module M(in S, out T, out D) { abort (S.now) { sustain T() } emit D }"
+        )
+        assert it.react(set()) == {"T"}
+        assert it.react({"S"}) == {"D"}
+
+    def test_weakabort_via_expansion(self):
+        it = interp(
+            "module M(in S, out T, out D) { weakabort (S.now) { sustain T() } emit D }"
+        )
+        assert it.react(set()) == {"T"}
+        assert it.react({"S"}) == {"T", "D"}
+
+    def test_suspend(self):
+        it = interp("module M(in H, out T) { suspend (H.now) { sustain T() } }")
+        assert it.react(set()) == {"T"}
+        assert it.react({"H"}) == set()
+        assert it.react(set()) == {"T"}
+
+    def test_trap_kill_clears_sibling_state(self):
+        it = interp(
+            """
+            module M(in I, out T, out D) {
+              L: fork { await I.now; break L } par { sustain T() }
+              emit D
+            }
+            """
+        )
+        assert it.react(set()) == {"T"}
+        assert it.react({"I"}) == {"T", "D"}
+        assert it.react(set()) == set()
+
+    def test_pre(self):
+        it = interp("module M(in I, out O) { loop { if (I.pre) { emit O } yield } }")
+        assert it.react({"I"}) == set()
+        assert it.react(set()) == {"O"}
+
+    def test_local_signal_communication(self):
+        it = interp(
+            """
+            module M(out O) {
+              signal S;
+              fork { emit S } par { if (S.now) { emit O } }
+            }
+            """
+        )
+        assert it.react(set()) == {"O"}
+
+
+class TestCausality:
+    def test_paradox_rejected(self):
+        it = interp("module M(out X) { if (!X.now) { emit X } }")
+        with pytest.raises(CausalityError):
+            it.react(set())
+
+    def test_self_justification_rejected(self):
+        it = interp("module M(out X) { if (X.now) { emit X } }")
+        with pytest.raises(CausalityError):
+            it.react(set())
+
+    def test_constructive_chain_accepted(self):
+        it = interp(
+            """
+            module M(in I, out X, out Y) {
+              fork { if (I.now) { emit X } } par { if (X.now) { emit Y } }
+            }
+            """
+        )
+        assert it.react({"I"}) == {"X", "Y"}
+
+
+class TestUnsupported:
+    def test_valued_emit(self):
+        with pytest.raises(UnsupportedProgram):
+            interp("module M(out O) { emit O(1) }")
+
+    def test_counted_delay(self):
+        with pytest.raises(UnsupportedProgram):
+            interp("module M(in S, out O) { await count(2, S.now); emit O }")
+
+    def test_local_in_loop(self):
+        with pytest.raises(UnsupportedProgram):
+            interp("module M(out O) { loop { signal S; emit S; yield } }")
+
+    def test_value_guard(self):
+        with pytest.raises(UnsupportedProgram):
+            interp("module M(in S, out O) { if (S.nowval) { emit O } }")
+
+    def test_unknown_input_rejected_at_react(self):
+        it = interp("module M(in I, out O) { halt }")
+        with pytest.raises(UnsupportedProgram):
+            it.react({"nope"})

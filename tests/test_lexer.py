@@ -1,0 +1,87 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.syntax.lexer import tokenize
+from repro.syntax.tokens import EOF, NAME, NUMBER, PUNCT, STRING
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_empty_input(self):
+        assert kinds("") == [EOF]
+
+    def test_names_and_keywords_are_names(self):
+        assert kinds("module foo await") == [NAME, NAME, NAME, EOF]
+
+    def test_name_at_eof_terminates(self):
+        # regression: '' in "_$" is True; the scanner must stop at EOF
+        assert values("in go, out done, out after")[-1] == "after"
+
+    def test_dollar_and_underscore_names(self):
+        assert values("_x $y a_b$2") == ["_x", "$y", "a_b$2"]
+
+    def test_integers_and_floats(self):
+        assert values("42 3.25 1e3 2.5e-2") == [42, 3.25, 1000.0, 0.025]
+        assert isinstance(values("42")[0], int)
+
+    def test_number_then_dot_method(self):
+        # `5.length` style: dot not followed by digit is punctuation
+        assert values("5.x") == [5, ".", "x"]
+
+    def test_strings_both_quotes(self):
+        assert values("'abc' \"def\"") == ["abc", "def"]
+
+    def test_string_escapes(self):
+        assert values(r'"a\nb\t\"q\""') == ['a\nb\t"q"']
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_multichar_punctuation_longest_match(self):
+        assert values("=== == = !== != ! => >= >") == [
+            "===", "==", "=", "!==", "!=", "!", "=>", ">=", ">",
+        ]
+
+    def test_ellipsis(self):
+        assert values("(...)") == ["(", "...", ")"]
+
+    def test_increment_and_plus(self):
+        assert values("++x + y") == ["++", "x", "+", "y"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("a /* never closed")
+
+    def test_comment_at_eof(self):
+        assert kinds("a //tail") == [NAME, EOF]
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd", filename="f.hh")
+        assert (tokens[0].loc.line, tokens[0].loc.column) == (1, 1)
+        assert (tokens[1].loc.line, tokens[1].loc.column) == (2, 3)
+        assert tokens[0].loc.filename == "f.hh"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("a # b")
+        assert "1:3" in str(err.value)

@@ -1,0 +1,204 @@
+"""Reactive-machine API: inputs, outputs, listeners, views, errors,
+deferred reactions, and the DSL construction path."""
+
+import pytest
+
+from repro import MachineError, ReactiveMachine, SignalError, parse_module
+from repro.lang import dsl as hh
+from repro.stdlib import prelude_table
+from repro.host import SimulatedLoop
+from tests.helpers import machine_for
+
+
+class TestReactAPI:
+    def test_unknown_input_rejected_with_hint(self):
+        m = machine_for("module M(in I, out O) { halt }")
+        with pytest.raises(MachineError) as err:
+            m.react({"nope": True})
+        assert "I" in str(err.value)
+
+    def test_output_cannot_be_given_as_input(self):
+        m = machine_for("module M(in I, out O) { halt }")
+        with pytest.raises(MachineError):
+            m.react({"O": True})
+
+    def test_result_mapping_interface(self):
+        m = machine_for("module M(out A, out B) { emit A(1); emit B(2) }")
+        result = m.react({})
+        assert dict(result) == {"A": 1, "B": 2}
+        assert result.present("A") and not result.present("C")
+        assert len(result) == 2
+        assert result.statuses["A"] is True
+
+    def test_listeners_fire_on_emission(self):
+        m = machine_for('module M(in I, out O) { loop { if (I.now) { emit O("v") } yield } }')
+        got = []
+        m.add_listener("O", got.append)
+        m.react({"I": True})
+        m.react({})
+        m.react({"I": True})
+        assert got == ["v", "v"]
+
+    def test_remove_listener(self):
+        m = machine_for("module M(out O) { sustain O(1) }")
+        got = []
+        m.add_listener("O", got.append)
+        m.react({})
+        m.remove_listener("O", got.append)
+        m.react({})
+        assert got == [1]
+
+    def test_listener_on_unknown_signal_rejected(self):
+        m = machine_for("module M(out O) { halt }")
+        with pytest.raises(SignalError):
+            m.add_listener("ghost", lambda v: None)
+
+    def test_signal_attribute_views(self):
+        m = machine_for("module M(in I = 0, out O) { sustain O(I.nowval) }")
+        m.react({"I": 3})
+        assert m.O.nowval == 3
+        m.react({})
+        assert m.O.preval == 3
+        with pytest.raises(AttributeError):
+            m.ghost_signal
+
+    def test_stats_exposed(self):
+        m = machine_for("module M(out O) { emit O }")
+        stats = m.stats()
+        assert stats["nets"] > 0 and "registers" in stats
+
+    def test_repr(self):
+        m = machine_for("module M(out O) { emit O }")
+        assert "M" in repr(m)
+
+
+class TestDeferredReactions:
+    def test_queue_react_runs_after_current_reaction(self):
+        # an exec start action queues another reaction: it must not nest
+        order = []
+
+        def start(ctx):
+            order.append("start")
+            ctx.react({"I": True})
+
+        mod = hh.module(
+            "M", "in I, out done, out seen",
+            hh.par(
+                hh.exec_(start, signal="done"),
+                hh.loop(hh.if_(hh.sig("I"), hh.emit("seen")), hh.pause()),
+            ),
+        )
+        m = ReactiveMachine(mod)
+        m.react({})
+        # the deferred reaction already ran (seen emitted there)
+        assert m.seen.now
+        assert m.reaction_count == 2
+
+    def test_loop_attached_reactions_scheduled(self):
+        loop = SimulatedLoop()
+        mod = hh.module(
+            "M", "in I, out seen",
+            hh.loop(hh.if_(hh.sig("I"), hh.emit("seen")), hh.pause()),
+        )
+        m = ReactiveMachine(mod)
+        m.attach_loop(loop)
+        m.queue_react({"I": True})
+        assert not m.seen.now
+        loop.flush_soon()
+        assert m.seen.now
+
+
+class TestDslConstruction:
+    def test_abro_via_dsl(self):
+        ABRO = hh.module(
+            "ABRO", "in A, in B, in R, out O",
+            hh.loopeach(
+                hh.sig("R"),
+                hh.seq(
+                    hh.par(hh.await_(hh.sig("A")), hh.await_(hh.sig("B"))),
+                    hh.emit("O"),
+                ),
+            ),
+        )
+        m = ReactiveMachine(ABRO)
+        m.react({})
+        m.react({"A": True})
+        assert m.react({"B": True}).present("O")
+
+    def test_string_fragments_are_parsed(self):
+        mod = hh.module(
+            "M", "in name = '', out ok",
+            hh.loop(
+                hh.if_("name.nowval.length >= 2", hh.emit("ok")),
+                hh.pause(),
+            ),
+        )
+        m = ReactiveMachine(mod)
+        assert not m.react({"name": "x"}).present("ok")
+        assert m.react({"name": "xy"}).present("ok")
+
+    def test_emit_value_literal_string(self):
+        mod = hh.module("M", "out s", hh.emit_value("s", "not parsed.now"))
+        m = ReactiveMachine(mod)
+        assert m.react({})["s"] == "not parsed.now"
+
+    def test_run_via_dsl(self):
+        inner = hh.module("Inner", "in tick, out fired",
+                          hh.seq(hh.await_(hh.sig("tick")), hh.emit("fired")))
+        outer = hh.module(
+            "Outer", "in Mn, out alarm",
+            hh.run(inner, {"tick": "Mn", "fired": "alarm"}),
+        )
+        m = ReactiveMachine(outer)
+        m.react({})
+        assert m.react({"Mn": True}).present("alarm")
+
+
+class TestStdlib:
+    def test_timer_module_through_prelude(self):
+        loop = SimulatedLoop()
+        table = prelude_table()
+        src = """
+        module M(in stop, inout time = 0) {
+          abort (stop.now) { run Timer(...) }
+        }
+        """
+        main = parse_module(src, modules=table)
+        m = ReactiveMachine(main, modules=table, host_globals=loop.bindings())
+        m.attach_loop(loop)
+        m.react({})
+        loop.advance_seconds(5)
+        assert m.time.nowval == 5
+
+    def test_timeout_module(self):
+        loop = SimulatedLoop()
+        table = prelude_table()
+        src = "module M(out elapsed) { run Timeout(ms=500, ...) }"
+        main = parse_module(src, modules=table)
+        m = ReactiveMachine(main, modules=table, host_globals=loop.bindings())
+        m.attach_loop(loop)
+        m.react({})
+        loop.advance(499)
+        assert not m.elapsed.now
+        loop.advance(2)
+        assert m.elapsed.nowval is True
+
+    def test_ticker_module_killed_cleans_up(self):
+        loop = SimulatedLoop()
+        table = prelude_table()
+        src = """
+        module M(in stop, inout tick) {
+          abort (stop.now) { run Ticker(ms=100, ...) }
+        }
+        """
+        main = parse_module(src, modules=table)
+        m = ReactiveMachine(main, modules=table, host_globals=loop.bindings())
+        m.attach_loop(loop)
+        m.react({})
+        ticks = []
+        m.add_listener("tick", ticks.append)
+        loop.advance(350)
+        assert len(ticks) == 3
+        m.react({"stop": True})
+        loop.advance(1000)
+        assert len(ticks) == 3

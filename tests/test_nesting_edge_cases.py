@@ -1,0 +1,140 @@
+"""Deep-nesting and interaction edge cases: suspend×abort, counted
+suspension, traps crossing suspension, every inside every."""
+
+from tests.helpers import check_trace, machine_for, presence_trace
+
+
+class TestCountedSuspend:
+    def test_suspend_count_fires_on_nth(self):
+        src = """
+        module M(in H, out T) {
+          suspend count(2, H.now) { loop { emit T; yield } }
+        }
+        """
+        # the delay elapses at the 2nd H; from then on every H suspends
+        # (an elapsed counted delay stays elapsed — same rule as Esterel's
+        # counted `suspend`, where only termination re-arms the counter)
+        check_trace(src, [None, {"H"}, {"H"}, None, {"H"}],
+                    [{"T"}, {"T"}, set(), {"T"}, set()])
+
+
+class TestSuspendAbortInterplay:
+    def test_abort_guard_frozen_under_suspension(self):
+        # while suspended, the inner abort is not resumed, so its guard
+        # is not even evaluated: S during suspension is invisible
+        src = """
+        module M(in H, in S, out T, out D) {
+          suspend (H.now) {
+            abort (S.now) { loop { emit T; yield } }
+            emit D
+          }
+        }
+        """
+        m = machine_for(src)
+        assert presence_trace(m, [None, {"H", "S"}, None, {"S"}]) == [
+            {"T"}, set(), {"T"}, {"D"},
+        ]
+
+    def test_abort_over_suspend(self):
+        # the outer abort kills even a suspended body
+        src = """
+        module M(in H, in S, out T, out D) {
+          abort (S.now) {
+            suspend (H.now) { loop { emit T; yield } }
+          }
+          emit D
+        }
+        """
+        m = machine_for(src)
+        assert presence_trace(m, [None, {"H"}, {"H", "S"}]) == [
+            {"T"}, set(), {"D"},
+        ]
+
+    def test_suspended_state_survives_long_suspension(self):
+        src = """
+        module M(in H, in S, out D) {
+          suspend (H.now) { await S.now; emit D }
+        }
+        """
+        m = machine_for(src)
+        trace = presence_trace(m, [None, {"H"}, {"H"}, {"H"}, {"S"}])
+        assert trace == [set(), set(), set(), set(), {"D"}]
+
+
+class TestTrapSuspendInteraction:
+    def test_break_crosses_suspension_boundary(self):
+        # a break in a running sibling kills a suspended branch
+        src = """
+        module M(in H, in X, out T, out D) {
+          L: fork {
+            suspend (H.now) { loop { emit T; yield } }
+          } par {
+            await X.now;
+            break L
+          }
+          emit D
+        }
+        """
+        m = machine_for(src)
+        assert presence_trace(m, [None, {"H", "X"}, None]) == [
+            {"T"}, {"D"}, set(),
+        ]
+
+
+class TestNestedEvery:
+    def test_every_inside_every(self):
+        src = """
+        module M(in Big, in Small, out O) {
+          every (Big.now) {
+            every (Small.now) { emit O }
+          }
+        }
+        """
+        m = machine_for(src)
+        trace = presence_trace(
+            m, [{"Big"}, {"Small"}, {"Small"}, {"Big"}, {"Small"}]
+        )
+        # boot Big unseen (delayed); then Big arms the inner every; each
+        # Small fires O; a new Big restarts the inner machinery
+        assert trace == [set(), set(), set(), set(), {"O"}]
+
+    def test_inner_every_counts_reset_by_outer(self):
+        src = """
+        module M(in Big, in Small, out O) {
+          every (Big.now) {
+            await count(2, Small.now);
+            emit O
+          }
+        }
+        """
+        m = machine_for(src)
+        trace = presence_trace(
+            m,
+            [None, {"Big"}, {"Small"}, {"Big"}, {"Small"}, {"Small"}],
+        )
+        # the Big at reaction 3 resets the count; two more Smalls needed
+        assert trace == [set(), set(), set(), set(), set(), {"O"}]
+
+
+class TestParallelCompletionCodes:
+    def test_mixed_pause_and_terminate(self):
+        src = """
+        module M(out A, out D) {
+          fork { emit A } par { yield }
+          emit D
+        }
+        """
+        check_trace(src, [None, None], [{"A"}, {"D"}])
+
+    def test_deeply_nested_parallel_termination(self):
+        src = """
+        module M(in I, out D) {
+          fork {
+            fork { await I.now } par { await I.now }
+          } par {
+            fork { await I.now } par { nothing }
+          }
+          emit D
+        }
+        """
+        check_trace(src, [None, {"I"}], [set(), {"D"}])

@@ -1,0 +1,244 @@
+"""Parser unit tests: statements, modules, run arguments, interfaces,
+and the embedded expression language."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast as A
+from repro.lang import expr as E
+from repro.syntax import (
+    parse_expression,
+    parse_interface_fragment,
+    parse_module,
+    parse_program,
+    parse_statement,
+)
+
+
+class TestExpressions:
+    def test_signal_accessors(self):
+        expr = parse_expression("login.now")
+        assert isinstance(expr, E.SigRef) and expr.kind == "now"
+        assert parse_expression("t.preval") == E.SigRef("t", "preval")
+        assert parse_expression("t.signame") == E.SigRef("t", "signame")
+
+    def test_this_is_not_a_signal(self):
+        expr = parse_expression("this.now")
+        assert isinstance(expr, E.Attr)
+
+    def test_attribute_chain_on_sigref(self):
+        expr = parse_expression("name.nowval.length")
+        assert isinstance(expr, E.Attr)
+        assert isinstance(expr.obj, E.SigRef)
+
+    def test_precedence(self):
+        expr = parse_expression("a.now || b.now && !c.now")
+        assert isinstance(expr, E.BinOp) and expr.op == "||"
+        assert isinstance(expr.right, E.BinOp) and expr.right.op == "&&"
+
+    def test_relational_vs_additive(self):
+        expr = parse_expression("x + 1 >= y * 2")
+        assert expr.op == ">="
+        assert expr.left.op == "+" and expr.right.op == "*"
+
+    def test_ternary(self):
+        expr = parse_expression("a ? 1 : 2")
+        assert isinstance(expr, E.Cond)
+
+    def test_strict_equality(self):
+        assert parse_expression("seconds.nowval === 20").op == "==="
+
+    def test_call_and_index(self):
+        expr = parse_expression("f(x, 2)[0]")
+        assert isinstance(expr, E.Index)
+        assert isinstance(expr.obj, E.Call)
+
+    def test_arrow_functions(self):
+        single = parse_expression("v => this.notify(v)")
+        assert isinstance(single, E.Lambda) and single.params == ["v"]
+        multi = parse_expression("(a, b) => a + b")
+        assert multi.params == ["a", "b"]
+        zero = parse_expression("() => 1")
+        assert zero.params == []
+
+    def test_parenthesized_not_lambda(self):
+        assert isinstance(parse_expression("(a + b)"), E.BinOp)
+
+    def test_object_literal_with_computed_key(self):
+        expr = parse_expression("{[time.signame]: this.sec, n: 1}")
+        assert isinstance(expr, E.ObjectLit)
+        key0 = expr.fields[0][0]
+        assert isinstance(key0, E.SigRef)
+
+    def test_object_shorthand(self):
+        expr = parse_expression("{login}")
+        assert expr.fields[0][0] == "login"
+        assert isinstance(expr.fields[0][1], E.Var)
+
+    def test_array_literal(self):
+        assert isinstance(parse_expression("[1, x, 'a']"), E.ArrayLit)
+
+    def test_assignment_expression(self):
+        expr = parse_expression("this.sec = 0")
+        assert isinstance(expr, E.AssignExpr)
+
+    def test_prefix_increment(self):
+        expr = parse_expression("++this.sec")
+        assert isinstance(expr, E.IncDec)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a b")
+
+    def test_signal_deps_extraction(self):
+        expr = parse_expression("a.now && b.nowval + c.preval")
+        assert expr.current_signal_deps() == {"a", "b"}
+
+
+class TestStatements:
+    def test_emit_forms(self):
+        assert parse_statement("emit S") == A.Emit("S")
+        assert parse_statement("emit S()") == A.Emit("S")
+        assert parse_statement("emit S(1)") == A.Emit("S", E.Lit(1))
+
+    def test_await_forms(self):
+        stmt = parse_statement("await S.now")
+        assert isinstance(stmt, A.Await) and not stmt.delay.immediate
+        stmt = parse_statement("await immediate S.now")
+        assert stmt.delay.immediate
+        stmt = parse_statement("await count(3, S.now)")
+        assert stmt.delay.count == E.Lit(3)
+
+    def test_abort_immediate_both_positions(self):
+        outer = parse_statement("abort immediate (S.now) { halt }")
+        inner = parse_statement("abort (immediate S.now) { halt }")
+        assert outer.delay.immediate and inner.delay.immediate
+
+    def test_abort_count_outside_parens(self):
+        stmt = parse_statement("abort count(5, Mn.now) { halt }")
+        assert stmt.delay.count == E.Lit(5)
+
+    def test_fork_par_chain(self):
+        stmt = parse_statement("fork { nothing } par { nothing } par { nothing }")
+        assert isinstance(stmt, A.Par) and len(stmt.branches) == 3
+
+    def test_single_fork_is_not_par(self):
+        assert not isinstance(parse_statement("fork { emit A }"), A.Par)
+
+    def test_label_and_break(self):
+        stmt = parse_statement("Done: fork { break Done } par { halt }")
+        assert isinstance(stmt, A.Trap) and stmt.label == "Done"
+
+    def test_signal_scopes_to_rest_of_block(self):
+        stmt = parse_statement("emit A; signal S; emit S; emit B")
+        assert isinstance(stmt, A.Seq)
+        assert isinstance(stmt.items[1], A.Local)
+        inner = stmt.items[1].body
+        assert isinstance(inner, A.Seq) and len(inner.items) == 2
+
+    def test_signal_with_init_and_combine(self):
+        stmt = parse_statement("signal S = 3 combine plus; emit S")
+        decl = stmt.decls[0]
+        assert decl.init == E.Lit(3) and decl.combine == "plus"
+
+    def test_do_every(self):
+        stmt = parse_statement("do { emit O } every (S.now)")
+        assert isinstance(stmt, A.DoEvery)
+
+    def test_if_without_parens_body(self):
+        stmt = parse_statement("if (a.now) emit X else emit Y")
+        assert isinstance(stmt.then, A.Emit) and isinstance(stmt.orelse, A.Emit)
+
+    def test_let(self):
+        stmt = parse_statement("let x = 1 + 2")
+        assert isinstance(stmt, A.Atom)
+        assert isinstance(stmt.body[0], A.Assign)
+
+    def test_hop_block(self):
+        stmt = parse_statement("hop { x = 1; f(x) }")
+        assert isinstance(stmt, A.Atom) and len(stmt.body) == 2
+
+    def test_async_with_handlers(self):
+        stmt = parse_statement(
+            "async done { this.go() } kill { this.stop() } "
+            "suspend { this.hold() } resume { this.cont() }"
+        )
+        assert isinstance(stmt, A.Exec)
+        assert stmt.signal == "done"
+        assert stmt.kill and stmt.on_suspend and stmt.on_resume
+
+    def test_async_without_signal(self):
+        stmt = parse_statement("async { this.go() }")
+        assert stmt.signal is None
+
+    def test_semicolons_optional(self):
+        a = parse_statement("emit A; emit B;")
+        b = parse_statement("emit A emit B")
+        assert a == b
+
+
+class TestRun:
+    def test_run_ellipsis(self):
+        stmt = parse_statement("run Timer(...)")
+        assert isinstance(stmt, A.Run) and stmt.bindings == {}
+
+    def test_run_as_bindings(self):
+        stmt = parse_statement("run Button(Tick as Mn, B as Try)")
+        assert stmt.bindings == {"Tick": "Mn", "B": "Try"}
+
+    def test_run_var_args(self):
+        stmt = parse_statement("run Freeze(max=5, attempts=n+1, sig as connected, ...)")
+        assert stmt.var_args["max"] == E.Lit(5)
+        assert stmt.bindings == {"sig": "connected"}
+
+    def test_run_bad_argument(self):
+        with pytest.raises(ParseError):
+            parse_statement("run M(1 + 2)")
+
+
+class TestModules:
+    def test_interface_directions_and_defaults(self):
+        mod = parse_module(
+            'module M(in a, out b = 1, inout c = "x", free, var v = 2) { nothing }'
+        )
+        dirs = {d.name: d.direction for d in mod.interface}
+        assert dirs == {"a": "in", "b": "out", "c": "inout", "free": "inout"}
+        assert mod.variables[0].name == "v"
+
+    def test_implements_merges_interface(self):
+        table = parse_program(
+            """
+            module Base(in a, out b) { nothing }
+            module Derived(out c) implements Base { nothing }
+            """
+        )
+        derived = table.get("Derived")
+        assert [d.name for d in derived.interface] == ["a", "b", "c"]
+
+    def test_implements_header_overrides_base(self):
+        table = parse_program(
+            """
+            module Base(out s = 1) { nothing }
+            module D(out s = 2) implements Base { nothing }
+            """
+        )
+        assert table.get("D").signal("s").init == E.Lit(2)
+
+    def test_duplicate_interface_signal_rejected(self):
+        with pytest.raises(ValueError):
+            parse_module("module M(in a, out a) { nothing }")
+
+    def test_program_table(self):
+        table = parse_program("module A(out x) { nothing } module B(out y) { run A(...) }")
+        assert table.names() == ["A", "B"]
+        run = table.get("B").body
+        assert isinstance(run.module, A.Module)  # resolved eagerly
+
+    def test_interface_fragment(self):
+        decls = parse_interface_fragment("in a = 1, out b, c")
+        assert [d.direction for d in decls] == ["in", "out", "local"]
+
+    def test_parse_errors_carry_location(self):
+        with pytest.raises(ParseError) as err:
+            parse_module("module M(in a) { emit }")
+        assert "<module>" in str(err.value)

@@ -1,0 +1,155 @@
+"""The Lisinopril pillbox (paper section 4.1): every rule of the
+rigorous prescription, plus logging and the Reset extension."""
+
+import pytest
+
+from repro.apps.pillbox import DEFAULT_PRESCRIPTION, PillboxApp, Prescription
+
+RX = Prescription()  # paper defaults: 8PM-11PM, 8h/34h walls, 30h alarm
+
+
+def fresh_app(start="evening"):
+    start_minute = 20 * 60 + 30 if start == "evening" else 9 * 60
+    return PillboxApp(RX, start_minute=start_minute)
+
+
+def take_dose(app):
+    app.press_try()
+    app.press_conf()
+
+
+class TestDoseCycle:
+    def test_initial_state_try_active(self):
+        app = fresh_app()
+        assert app.try_active and not app.conf_active
+
+    def test_try_then_conf_records_dose(self):
+        app = fresh_app()
+        app.press_try()
+        assert not app.try_active and app.conf_active
+        assert app.events("DeliverDose")
+        app.press_conf()
+        assert app.doses() == [app.time]
+        assert not app.conf_active
+
+    def test_dose_in_window_no_warning(self):
+        app = fresh_app("evening")  # 8:30PM, inside 8-11PM
+        take_dose(app)
+        assert app.events("TryNotInWindowWarning") == []
+
+    def test_dose_out_of_window_warns_but_delivers(self):
+        app = fresh_app("morning")  # 9AM
+        take_dose(app)
+        assert app.events("TryNotInWindowWarning")
+        assert app.doses()  # still recorded: "no big deal" per the doctor
+
+    def test_window_boundaries(self):
+        assert not RX.in_window(19 * 60 + 59)
+        assert RX.in_window(20 * 60)
+        assert RX.in_window(22 * 60 + 59)
+        assert not RX.in_window(23 * 60)
+
+
+class TestEightHourWall:
+    def test_try_within_8h_is_refused_with_error(self):
+        app = fresh_app()
+        take_dose(app)
+        app.tick_hours(2)
+        app.press_try()
+        assert app.events("TryTooCloseError")
+        assert app.events("DeliverDose") == [(app.doses()[0], app.doses()[0])] or len(app.events("DeliverDose")) == 1
+
+    def test_try_after_8h_is_accepted(self):
+        app = fresh_app()
+        take_dose(app)
+        app.tick_hours(8)
+        app.tick(1)
+        app.press_try()
+        assert len(app.events("DeliverDose")) == 2
+        assert app.events("TryTooCloseError") == []
+
+
+class TestLateAlarms:
+    def test_try_alert_after_30h(self):
+        app = fresh_app()
+        take_dose(app)
+        app.tick_hours(29)
+        assert not app.try_alert
+        app.tick_hours(2)
+        assert app.try_alert
+
+    def test_try_alert_stops_after_dose(self):
+        app = fresh_app()
+        take_dose(app)
+        app.tick_hours(31)
+        take_dose(app)
+        assert not app.try_alert
+
+    def test_no_dose_error_after_34h(self):
+        app = fresh_app()
+        take_dose(app)
+        app.tick_hours(33)
+        assert app.events("NoDoseSinceTooLongError") == []
+        app.tick_hours(2)
+        assert app.events("NoDoseSinceTooLongError")
+
+    def test_no_dose_error_is_sustained(self):
+        app = fresh_app()
+        take_dose(app)
+        app.tick_hours(35)
+        before = len(app.events("NoDoseSinceTooLongError"))
+        app.tick(10)
+        assert len(app.events("NoDoseSinceTooLongError")) == before + 10
+
+    def test_conf_alert_when_confirmation_late(self):
+        app = fresh_app()
+        app.press_try()
+        app.tick(RX.conf_alarm_after + 1)
+        assert app.conf_alert
+        app.press_conf()
+        assert not app.conf_alert
+
+    def test_conf_prompt_within_delay_no_alert(self):
+        app = fresh_app()
+        app.press_try()
+        app.tick(RX.conf_alarm_after - 1)
+        assert not app.conf_alert
+
+
+class TestMultiDay:
+    def test_week_of_perfect_compliance(self):
+        app = fresh_app()
+        for _day in range(7):
+            take_dose(app)
+            app.tick_hours(24)
+        assert len(app.doses()) == 7
+        assert app.events("NoDoseSinceTooLongError") == []
+        assert app.events("TryTooCloseError") == []
+
+    def test_intervals_respected_in_log(self):
+        app = fresh_app()
+        for _day in range(4):
+            take_dose(app)
+            app.tick_hours(24)
+        doses = app.doses()
+        gaps = [b - a for a, b in zip(doses, doses[1:])]
+        assert all(RX.min_dose_interval <= g <= RX.max_dose_interval for g in gaps)
+
+    def test_reset_restarts_protocol(self):
+        app = fresh_app()
+        take_dose(app)
+        app.tick_hours(2)
+        app.reset()
+        # after reset, Try is active again immediately (fresh protocol)
+        assert app.try_active
+        app.press_try()
+        assert len(app.events("DeliverDose")) == 2
+
+
+class TestMachineFootprint:
+    def test_net_count_order_of_magnitude(self):
+        # the paper reports 399 nets for its Lisinopril compilation; ours
+        # should be the same order of magnitude (hundreds, not thousands)
+        app = fresh_app()
+        nets = app.machine.stats()["nets"]
+        assert 100 <= nets <= 2000, nets

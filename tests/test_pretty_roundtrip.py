@@ -1,0 +1,66 @@
+"""Pretty-printer properties: parser output is a fixed point of
+``parse ∘ pretty``, and printing is idempotent under reparsing."""
+
+from hypothesis import given, settings
+
+from repro.lang.pretty import pretty_expr, pretty_module, pretty_statement
+from repro.syntax import parse_expression, parse_module, parse_statement
+from tests.strategies import printable_exprs, printable_statements, pure_modules
+
+
+@settings(max_examples=120, deadline=None)
+@given(printable_exprs())
+def test_expression_roundtrip(expr):
+    normal = parse_expression(pretty_expr(expr))
+    again = parse_expression(pretty_expr(normal))
+    assert again == normal
+
+
+@settings(max_examples=120, deadline=None)
+@given(printable_statements())
+def test_statement_roundtrip(stmt):
+    # normalize through the parser once (the printer flattens nested
+    # sequences and trailing-scope locals exactly like the parser does),
+    # then require a strict fixed point
+    normal = parse_statement(pretty_statement(stmt))
+    again = parse_statement(pretty_statement(normal))
+    assert again == normal
+
+
+@settings(max_examples=80, deadline=None)
+@given(printable_statements())
+def test_pretty_is_stable_text(stmt):
+    text1 = pretty_statement(stmt)
+    text2 = pretty_statement(parse_statement(text1))
+    assert text1 == text2
+
+
+@settings(max_examples=60, deadline=None)
+@given(pure_modules())
+def test_module_roundtrip(module):
+    normal = parse_module(pretty_module(module))
+    again = parse_module(pretty_module(normal))
+    assert again == normal
+    assert normal.interface == module.interface
+
+
+def test_paper_main_module_roundtrips():
+    source = """
+    module Main(in name = "", in passwd = "", in login, in logout,
+                out enableLogin, out connState = "disconn",
+                inout time = 0, inout connected) {
+      fork {
+        do {
+          emit enableLogin(name.nowval.length >= 2 && passwd.nowval.length >= 2)
+        } every (name.now || passwd.now)
+      } par {
+        every (login.now) {
+          emit connState("connecting");
+          if (connected.nowval) { emit connState("connected") }
+          else { emit connState("error") }
+        }
+      }
+    }
+    """
+    module = parse_module(source)
+    assert parse_module(pretty_module(module)) == module

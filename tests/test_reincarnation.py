@@ -1,0 +1,141 @@
+"""Loop reincarnation (schizophrenia) — paper section 5.3's "quadratic
+expansion in special cases".
+
+When a loop body terminates and restarts in the same instant, local
+signals and counters of the old and new iterations coexist in that
+instant and must not be confused.  The compiler duplicates such loop
+bodies; these tests pin the observable semantics and the ablation flag.
+"""
+
+import pytest
+
+from repro import CompileOptions, parse_module, ReactiveMachine
+from tests.helpers import check_trace, machine_for, presence_trace
+
+
+class TestLocalSignalReincarnation:
+    def test_fresh_local_per_iteration(self):
+        # classic schizophrenia: S emitted at the END of an iteration must
+        # not be seen by the test at the START of the next iteration in
+        # the same instant.
+        src = """
+        module M(in I, out O) {
+          loop {
+            signal S;
+            if (S.now) { emit O }
+            await I.now;
+            emit S
+          }
+        }
+        """
+        # at each I: old iteration emits S and terminates; the new
+        # iteration's S is a fresh incarnation, absent -> O never emitted
+        check_trace(src, [None, {"I"}, {"I"}, None],
+                    [set(), set(), set(), set()])
+
+    def test_local_emission_stays_in_iteration(self):
+        src = """
+        module M(in I, out O) {
+          loop {
+            signal S;
+            fork { emit S } par { if (S.now) { emit O } }
+            await I.now
+          }
+        }
+        """
+        # every iteration start emits its own S and sees it -> O each start
+        check_trace(src, [None, {"I"}, None, {"I"}],
+                    [{"O"}, {"O"}, set(), {"O"}])
+
+    def test_counter_reincarnation(self):
+        src = """
+        module M(in S, out O) {
+          loop {
+            await count(2, S.now);
+            emit O
+          }
+        }
+        """
+        # counts must re-arm per iteration, never leak across the restart
+        check_trace(src, [{"S"}, {"S"}, {"S"}, {"S"}, {"S"}, {"S"}],
+                    [set(), set(), {"O"}, set(), {"O"}, set()])
+
+
+class TestDuplicationPolicy:
+    SRC = """
+    module M(in I, out O) {
+      loop {
+        signal S;
+        if (S.now) { emit O }
+        await I.now;
+        emit S
+      }
+    }
+    """
+
+    def _nets(self, policy):
+        module = parse_module(self.SRC)
+        machine = ReactiveMachine(
+            module, options=CompileOptions(loop_duplication=policy)
+        )
+        return machine, machine.stats()["nets"]
+
+    def test_always_larger_than_never(self):
+        _, never = self._nets("never")
+        _, always = self._nets("always")
+        assert always > never
+
+    def test_auto_duplicates_schizophrenic_body(self):
+        _, never = self._nets("never")
+        _, auto = self._nets("auto")
+        _, always = self._nets("always")
+        # auto duplicates the schizophrenic loop (bigger than never) but,
+        # unlike always, leaves innocuous loops (e.g. await's halt) alone
+        assert never < auto <= always
+
+    def test_auto_policy_is_semantically_correct(self):
+        machine, _ = self._nets("auto")
+        assert presence_trace(machine, [None, {"I"}, {"I"}]) == [set(), set(), set()]
+
+    def test_plain_loop_not_duplicated(self):
+        src = "module M(out O) { loop { emit O; yield } }"
+        module = parse_module(src)
+        auto = ReactiveMachine(module).stats()["nets"]
+        never = ReactiveMachine(
+            parse_module(src), options=CompileOptions(loop_duplication="never")
+        ).stats()["nets"]
+        assert auto == never
+
+    def test_never_policy_confuses_incarnations(self):
+        # documents WHY duplication exists: with a single body copy the
+        # old iteration's emission leaks into the new incarnation
+        machine, _ = self._nets("never")
+        trace = presence_trace(machine, [None, {"I"}])
+        assert trace == [set(), {"O"}]  # the leak
+
+    def test_nested_duplication_grows_quadratically(self):
+        def nested(depth):
+            body = "signal S; if (S.now) { emit O } await I.now; emit S"
+            for _ in range(depth):
+                body = f"loop {{ signal S; {body}; await I.now; emit S }}"
+            return f"module M(in I, out O) {{ loop {{ {body} ; await I.now }} }}"
+
+        sizes = []
+        for depth in range(3):
+            module = parse_module(nested(depth))
+            sizes.append(ReactiveMachine(module).stats()["nets"])
+        growth1 = sizes[1] / sizes[0]
+        growth2 = sizes[2] / sizes[1]
+        assert growth2 > 1.5, f"expected super-linear growth, got {sizes}"
+
+
+class TestExecReincarnation:
+    def test_exec_slots_duplicated(self):
+        from repro.lang import dsl as hh
+
+        mod = hh.module(
+            "M", "in I, out done",
+            hh.loop(hh.exec_(lambda ctx: None, signal="done"), hh.await_(hh.sig("I"))),
+        )
+        machine = ReactiveMachine(mod)
+        assert len(machine.compiled.circuit.execs) == 2

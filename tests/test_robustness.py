@@ -1,0 +1,153 @@
+"""Failure injection and robustness: host-code exceptions, machine
+misuse, service outages, and hostile input values."""
+
+import pytest
+
+from repro import MachineError, ReactiveMachine, parse_module
+from repro.lang import dsl as hh
+from repro.lang.expr import EvalError
+from repro.host import AuthService, SimulatedLoop
+from tests.helpers import machine_for
+
+
+class TestHostErrors:
+    def test_expression_error_surfaces_as_evalerror(self):
+        m = machine_for("module M(in I = 0, out O) { emit O(1 / I.nowval) }")
+        with pytest.raises(EvalError):
+            m.react({"I": 0})
+
+    def test_host_call_error_carries_context(self):
+        def boom():
+            raise RuntimeError("kaput")
+
+        m = machine_for(
+            "module M(out O) { emit O(boom()) }", host_globals={"boom": boom}
+        )
+        with pytest.raises(EvalError, match="kaput"):
+            m.react({})
+
+    def test_machine_survives_failed_reaction_structurally(self):
+        # a failing reaction raises, but the machine object remains usable
+        # after reset (registers are only latched on success)
+        m = machine_for(
+            """
+            module M(in I = 1, out O) {
+              loop { emit O(10 / I.nowval); yield }
+            }
+            """
+        )
+        assert m.react({})["O"] == 10
+        with pytest.raises(EvalError):
+            m.react({"I": 0})
+        m.reset()
+        assert m.react({})["O"] == 10
+
+    def test_exec_start_exception_propagates(self):
+        def bad_start(ctx):
+            raise ValueError("cannot start")
+
+        mod = hh.module("M", "out done", hh.exec_(bad_start, signal="done"))
+        m = ReactiveMachine(mod)
+        # callable exec actions propagate their own exception type
+        with pytest.raises(ValueError, match="cannot start"):
+            m.react({})
+
+
+class TestMachineMisuse:
+    def test_reentrant_react_rejected(self):
+        m = machine_for("module M(in I, out O) { halt }")
+        captured = {}
+
+        def reenter(value):
+            captured["error"] = None
+            try:
+                m.react({})
+            except MachineError as exc:
+                captured["error"] = exc
+
+        m2 = machine_for(
+            "module M(in I, out O) { loop { if (I.now) { emit O } yield } }"
+        )
+        m2.add_listener("O", lambda v: captured.setdefault("listener_ok", True))
+        m2.react({"I": True})
+        assert captured.get("listener_ok") is True
+
+        # reentrancy through an atom
+        src_mod = hh.module(
+            "R", "out O",
+            hh.atom(lambda env: reenter(None)),
+        )
+        m3 = ReactiveMachine(src_mod)
+        # the atom runs during the reaction and calls react() on *another*
+        # machine (fine), but calling back into the same machine must fail
+        def self_reenter(env):
+            try:
+                m3.react({})
+                captured["self"] = "no error"
+            except MachineError:
+                captured["self"] = "rejected"
+
+        mod = hh.module("R2", "out O", hh.atom(self_reenter))
+        m3 = ReactiveMachine(mod)
+        m3.react({})
+        assert captured["self"] == "rejected"
+
+    def test_inputs_with_false_value_still_present(self):
+        # presence is keyed by the dict key; False is a legal value
+        m = machine_for(
+            "module M(in I, out O) { loop { if (I.now) { emit O(I.nowval) } yield } }"
+        )
+        result = m.react({"I": False})
+        assert result.present("O") and result["O"] is False
+
+
+class TestHostileValues:
+    def test_none_values_flow_through(self):
+        m = machine_for("module M(in I, out O) { sustain O(I.nowval) }")
+        assert m.react({"I": None}).present("O")
+
+    def test_large_values(self):
+        m = machine_for("module M(in I, out O) { sustain O(I.nowval) }")
+        big = "x" * 100_000
+        assert m.react({"I": big})["O"] == big
+
+    def test_mutable_values_shared_not_copied(self):
+        # documents by-reference value semantics (same as JS objects)
+        m = machine_for("module M(in I, out O) { sustain O(I.nowval) }")
+        payload = {"n": 1}
+        m.react({"I": payload})
+        payload["n"] = 2
+        assert m.O.nowval["n"] == 2
+
+
+class TestServiceOutage:
+    def test_login_survives_outage_then_recovers(self):
+        from repro.apps.login import build_login_machine
+
+        loop = SimulatedLoop()
+        svc = AuthService(loop, {"alice": "secret"}, latency_ms=50)
+        m = build_login_machine(loop, svc)
+        m.react({"name": "alice", "passwd": "secret"})
+
+        svc.outage_requests = 2
+        for _ in range(2):
+            m.react({"login": True})
+            loop.advance(100)
+            assert m.connState.nowval == "error"
+        m.react({"login": True})
+        loop.advance(100)
+        assert m.connState.nowval == "connected"
+
+    def test_slow_service_does_not_block_reactions(self):
+        from repro.apps.login import build_login_machine
+
+        loop = SimulatedLoop()
+        svc = AuthService(loop, {"alice": "secret"}, latency_ms=10_000)
+        m = build_login_machine(loop, svc)
+        m.react({"name": "alice", "passwd": "secret"})
+        m.react({"login": True})
+        # while the request hangs, the machine keeps reacting (async!)
+        assert m.react({"name": "alicia"}).get("enableLogin") is True
+        assert m.connState.nowval == "connecting"
+        loop.advance(11_000)
+        assert m.connState.nowval == "connected"

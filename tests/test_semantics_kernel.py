@@ -1,0 +1,267 @@
+"""Kernel-statement semantics, one behaviour per test.
+
+These are the Esterel classics, expressed through the reactive machine:
+sequencing and pausing, parallel synchronization, loops, signal tests,
+and the boot protocol.
+"""
+
+import pytest
+
+from repro import CausalityError, ReactiveMachine, parse_module
+from tests.helpers import check_trace, machine_for, presence_trace
+
+
+class TestBasics:
+    def test_nothing_terminates_instantly(self):
+        m = machine_for("module M(out O) { nothing }")
+        result = m.react({})
+        assert result.terminated
+
+    def test_emit_at_boot(self):
+        check_trace("module M(out O) { emit O }", [None], [{"O"}])
+
+    def test_pause_delays_termination(self):
+        m = machine_for("module M(out O) { yield; emit O }")
+        assert not m.react({}).terminated
+        result = m.react({})
+        assert result.present("O") and result.terminated
+
+    def test_two_pauses(self):
+        check_trace(
+            "module M(out O) { yield; yield; emit O }",
+            [None, None, None],
+            [set(), set(), {"O"}],
+        )
+
+    def test_sequence_of_emits_same_instant(self):
+        check_trace(
+            "module M(out A, out B) { emit A; emit B }",
+            [None],
+            [{"A", "B"}],
+        )
+
+    def test_halt_never_terminates(self):
+        m = machine_for("module M(out O) { halt }")
+        for _ in range(5):
+            assert not m.react({}).terminated
+
+    def test_terminated_machine_stays_quiet(self):
+        m = machine_for("module M(in I, out O) { emit O }")
+        m.react({})
+        assert m.terminated
+        result = m.react({"I": True})
+        assert not result.present("O")
+
+
+class TestSignals:
+    def test_input_presence_read_by_if(self):
+        src = """
+        module M(in I, out O) {
+          loop { if (I.now) { emit O } yield }
+        }
+        """
+        check_trace(src, [None, {"I"}, None, {"I"}],
+                    [set(), {"O"}, set(), {"O"}])
+
+    def test_absent_input_takes_else(self):
+        src = """
+        module M(in I, out T, out E) {
+          loop { if (I.now) { emit T } else { emit E } yield }
+        }
+        """
+        check_trace(src, [None, {"I"}], [{"E"}, {"T"}])
+
+    def test_local_signal_instant_broadcast(self):
+        src = """
+        module M(out O) {
+          signal S;
+          fork { emit S } par { if (S.now) { emit O } }
+        }
+        """
+        check_trace(src, [None], [{"O"}])
+
+    def test_local_shadows_interface(self):
+        src = """
+        module M(out S, out O) {
+          fork { emit S } par {
+            signal S;
+            if (S.now) { emit O }
+          }
+        }
+        """
+        # inner S is absent; outer S is emitted
+        check_trace(src, [None], [{"S"}])
+
+    def test_signal_status_resets_each_instant(self):
+        src = "module M(in I, out O) { loop { if (I.now) { emit O } yield } }"
+        check_trace(src, [{"I"}, None], [{"O"}, set()])
+
+    def test_pre_status(self):
+        src = """
+        module M(in I, out O) {
+          loop { if (I.pre) { emit O } yield }
+        }
+        """
+        check_trace(src, [{"I"}, None, {"I"}, None],
+                    [set(), {"O"}, set(), {"O"}])
+
+    def test_inout_signal_both_ways(self):
+        src = """
+        module M(in I, inout S, out O) {
+          fork {
+            loop { if (I.now) { emit S } yield }
+          } par {
+            loop { if (S.now) { emit O } yield }
+          }
+        }
+        """
+        m = machine_for(src)
+        # an inout set by the environment is reported present, like any
+        # other present interface signal
+        assert presence_trace(m, [None, {"I"}, {"S"}]) == [
+            set(),
+            {"S", "O"},
+            {"S", "O"},
+        ]
+
+
+class TestParallel:
+    def test_par_waits_for_all_branches(self):
+        src = """
+        module M(in A, in B, out O) {
+          fork { await A.now } par { await B.now }
+          emit O
+        }
+        """
+        check_trace(src, [None, {"A"}, None, {"B"}],
+                    [set(), set(), set(), {"O"}])
+
+    def test_par_instant_termination(self):
+        check_trace(
+            "module M(out A, out B, out O) { fork { emit A } par { emit B } emit O }",
+            [None],
+            [{"A", "B", "O"}],
+        )
+
+    def test_three_branches(self):
+        src = """
+        module M(in A, in B, in C, out O) {
+          fork { await A.now } par { await B.now } par { await C.now }
+          emit O
+        }
+        """
+        check_trace(src, [None, {"A", "B"}, {"C"}],
+                    [set(), set(), {"O"}])
+
+    def test_branches_see_same_instant(self):
+        src = """
+        module M(in I, out X, out Y) {
+          fork {
+            loop { if (I.now) { emit X } yield }
+          } par {
+            loop { if (I.now) { emit Y } yield }
+          }
+        }
+        """
+        check_trace(src, [{"I"}, None], [{"X", "Y"}, set()])
+
+
+class TestLoop:
+    def test_loop_restarts_instantly(self):
+        src = "module M(in I, out O) { loop { await I.now; emit O } }"
+        check_trace(src, [None, {"I"}, {"I"}, None, {"I"}],
+                    [set(), {"O"}, {"O"}, set(), {"O"}])
+
+    def test_loop_with_pause_emits_every_instant(self):
+        check_trace(
+            "module M(out O) { loop { emit O; yield } }",
+            [None, None, None],
+            [{"O"}, {"O"}, {"O"}],
+        )
+
+    def test_sustain(self):
+        check_trace(
+            "module M(out O) { sustain O() }",
+            [None, None],
+            [{"O"}, {"O"}],
+        )
+
+    def test_nested_loops(self):
+        src = """
+        module M(in I, out O) {
+          loop {
+            loop { if (I.now) { emit O } yield }
+          }
+        }
+        """
+        check_trace(src, [{"I"}, None, {"I"}], [{"O"}, set(), {"O"}])
+
+
+class TestCausality:
+    def test_self_negation_deadlocks(self):
+        m = machine_for("module M(out X) { if (!X.now) { emit X } }")
+        with pytest.raises(CausalityError):
+            m.react({})
+
+    def test_self_justification_is_not_constructive(self):
+        # `if (X.now) emit X` has two classical solutions (X present or
+        # absent); constructive semantics rejects it — Berry's P2 paradox
+        m = machine_for("module M(out X, out O) { if (X.now) { emit X } emit O }")
+        with pytest.raises(CausalityError):
+            m.react({})
+
+    def test_guarded_self_reference_resolves(self):
+        # with the test driven by a real input, the same shape is fine
+        src = """
+        module M(in I, out X, out O) {
+          fork { if (I.now) { emit X } } par { if (X.now) { emit O } }
+        }
+        """
+        m = machine_for(src)
+        result = m.react({"I": True})
+        assert result.present("X") and result.present("O")
+
+    def test_cross_branch_cycle_deadlocks(self):
+        src = """
+        module M(out X, out Y) {
+          fork { if (X.now) { emit Y } } par { if (!Y.now) { emit X } }
+        }
+        """
+        with pytest.raises(CausalityError):
+            machine_for(src).react({})
+
+    def test_cycle_warning_emitted_at_compile_time(self):
+        m = machine_for("module M(out X) { if (!X.now) { emit X } }")
+        assert m.compiled.warnings, "expected a static cycle warning"
+
+    def test_acyclic_program_has_no_warnings(self):
+        m = machine_for("module M(in I, out O) { await I.now; emit O }")
+        assert m.compiled.warnings == []
+
+    def test_causality_error_names_nets(self):
+        m = machine_for("module M(out X) { if (!X.now) { emit X } }")
+        try:
+            m.react({})
+            raise AssertionError("expected CausalityError")
+        except CausalityError as exc:
+            assert exc.nets, "error should name the unresolved nets"
+
+
+class TestBootProtocol:
+    def test_inputs_before_boot_row(self):
+        # inputs at the very first reaction are visible
+        src = "module M(in I, out O) { if (I.now) { emit O } }"
+        check_trace(src, [{"I"}], [{"O"}])
+
+    def test_reaction_count(self):
+        m = machine_for("module M(out O) { halt }")
+        m.react({})
+        m.react({})
+        assert m.reaction_count == 2
+
+    def test_reset_restores_boot(self):
+        m = machine_for("module M(out O) { emit O; yield; halt }")
+        assert m.react({}).present("O")
+        assert not m.react({}).present("O")
+        m.reset()
+        assert m.react({}).present("O")

@@ -1,0 +1,290 @@
+"""Preemption semantics: abort, weakabort, suspend, every, do/every,
+traps and labelled break — the constructs the paper argues are
+HipHop's key additions over plain event-driven code."""
+
+import pytest
+
+from repro import CausalityError, parse_module, ReactiveMachine
+from tests.helpers import check_trace, machine_for, presence_trace
+
+
+class TestStrongAbort:
+    def test_abort_kills_body(self):
+        src = """
+        module M(in S, out T, out D) {
+          abort (S.now) { loop { emit T; yield } }
+          emit D
+        }
+        """
+        check_trace(src, [None, None, {"S"}, None],
+                    [{"T"}, {"T"}, {"D"}, set()])
+
+    def test_abort_is_strong(self):
+        # the body does NOT run at the abortion instant
+        src = """
+        module M(in S, out T, out D) {
+          abort (S.now) { loop { emit T; yield } }
+          emit D
+        }
+        """
+        m = machine_for(src)
+        m.react({})
+        result = m.react({"S": True})
+        assert result.present("D") and not result.present("T")
+
+    def test_abort_is_delayed_by_default(self):
+        # guard at the starting instant is ignored
+        src = """
+        module M(in S, out T) {
+          abort (S.now) { emit T; halt }
+        }
+        """
+        check_trace(src, [{"S"}, None, {"S"}],
+                    [{"T"}, set(), set()])
+
+    def test_abort_immediate_checks_at_start(self):
+        src = """
+        module M(in S, out T, out D) {
+          abort immediate (S.now) { emit T; halt }
+          emit D
+        }
+        """
+        check_trace(src, [{"S"}], [{"D"}])
+
+    def test_abort_terminates_with_body(self):
+        src = """
+        module M(in S, in I, out D) {
+          abort (S.now) { await I.now }
+          emit D
+        }
+        """
+        check_trace(src, [None, {"I"}], [set(), {"D"}])
+
+    def test_nested_aborts_outer_wins(self):
+        src = """
+        module M(in A, in B, out T, out OA, out OB) {
+          abort (A.now) {
+            abort (B.now) { loop { emit T; yield } }
+            emit OB;
+            halt
+          }
+          emit OA
+        }
+        """
+        m = machine_for(src)
+        m.react({})
+        result = m.react({"A": True, "B": True})
+        assert result.present("OA")
+        assert not result.present("OB")
+        assert not result.present("T")
+
+
+class TestWeakAbort:
+    def test_weakabort_lets_body_run_at_abortion(self):
+        src = """
+        module M(in S, out T, out D) {
+          weakabort (S.now) { loop { emit T; yield } }
+          emit D
+        }
+        """
+        m = machine_for(src)
+        m.react({})
+        result = m.react({"S": True})
+        assert result.present("T") and result.present("D")
+
+    def test_weakabort_body_termination_also_exits(self):
+        src = """
+        module M(in S, in I, out D) {
+          weakabort (S.now) { await I.now }
+          emit D
+        }
+        """
+        check_trace(src, [None, {"I"}], [set(), {"D"}])
+
+    def test_weakabort_needed_for_self_feedback(self):
+        # the paper's MainV2 argument: the body emits the very signal that
+        # aborts it; strong abort would be a causality error
+        weak = """
+        module M(in I, out S, out D) {
+          weakabort (S.now) {
+            loop { if (I.now) { emit S } yield }
+          }
+          emit D
+        }
+        """
+        m = machine_for(weak)
+        m.react({})
+        result = m.react({"I": True})
+        assert result.present("S") and result.present("D")
+
+        strong = weak.replace("weakabort", "abort")
+        m2 = machine_for(strong)
+        m2.react({})
+        with pytest.raises(CausalityError):
+            m2.react({"I": True})
+
+
+class TestSuspend:
+    def test_suspend_freezes_body(self):
+        src = """
+        module M(in S, out T) {
+          suspend (S.now) { loop { emit T; yield } }
+        }
+        """
+        check_trace(src, [None, {"S"}, {"S"}, None],
+                    [{"T"}, set(), set(), {"T"}])
+
+    def test_suspend_preserves_progress(self):
+        src = """
+        module M(in S, in I, out D) {
+          suspend (S.now) { await I.now; emit D }
+        }
+        """
+        # I during suspension is not seen; after resume a new I is needed
+        check_trace(src, [None, {"S", "I"}, None, {"I"}],
+                    [set(), set(), set(), {"D"}])
+
+
+class TestEvery:
+    def test_every_awaits_first_occurrence(self):
+        src = "module M(in S, out O) { every (S.now) { emit O } }"
+        check_trace(src, [None, {"S"}, None, {"S"}],
+                    [set(), {"O"}, set(), {"O"}])
+
+    def test_every_restarts_running_body(self):
+        src = """
+        module M(in S, out A, out B) {
+          every (S.now) { emit A; yield; emit B }
+        }
+        """
+        # every is delayed: the boot-instant S is not seen; afterwards a
+        # new S preempts the running body before it reaches B
+        check_trace(src, [{"S"}, {"S"}, {"S"}, None],
+                    [set(), {"A"}, {"A"}, {"B"}])
+
+    def test_do_every_runs_body_immediately(self):
+        src = """
+        module M(in S, out O) {
+          do { emit O } every (S.now)
+        }
+        """
+        check_trace(src, [None, {"S"}, None, {"S"}],
+                    [{"O"}, {"O"}, set(), {"O"}])
+
+    def test_paper_identity_module_shape(self):
+        src = """
+        module M(in name = "", in passwd = "", out enableLogin) {
+          do {
+            emit enableLogin(name.nowval.length >= 2 && passwd.nowval.length >= 2)
+          } every (name.now || passwd.now)
+        }
+        """
+        m = machine_for(src)
+        m.react({})
+        assert m.react({"name": "jo"}).get("enableLogin") is False
+        assert m.react({"passwd": "xy"}).get("enableLogin") is True
+        assert m.react({"name": ""}).get("enableLogin") is False
+
+
+class TestTraps:
+    def test_break_exits_labelled_statement(self):
+        src = """
+        module M(in I, out O, out D) {
+          T: {
+            await I.now;
+            break T;
+            emit O
+          }
+          emit D
+        }
+        """
+        check_trace(src, [None, {"I"}], [set(), {"D"}])
+
+    def test_break_weakly_preempts_sibling(self):
+        src = """
+        module M(in I, out T, out D) {
+          L: fork {
+            await I.now;
+            break L
+          } par {
+            loop { emit T; yield }
+          }
+          emit D
+        }
+        """
+        m = machine_for(src)
+        assert presence_trace(m, [None, {"I"}]) == [{"T"}, {"T", "D"}]
+        assert presence_trace(m, [None]) == [set()]
+
+    def test_nested_traps_inner_break(self):
+        src = """
+        module M(in I, out A, out B) {
+          Outer: {
+            Inner: {
+              await I.now;
+              break Inner
+            }
+            emit A;
+            break Outer
+          }
+          emit B
+        }
+        """
+        check_trace(src, [None, {"I"}], [set(), {"A", "B"}])
+
+    def test_nested_traps_outer_break_skips_inner_continuation(self):
+        src = """
+        module M(in I, out A, out B) {
+          Outer: {
+            Inner: {
+              await I.now;
+              break Outer
+            }
+            emit A
+          }
+          emit B
+        }
+        """
+        check_trace(src, [None, {"I"}], [set(), {"B"}])
+
+    def test_parallel_breaks_max_wins(self):
+        # both branches break different traps simultaneously: the outer
+        # (higher) exit takes precedence
+        src = """
+        module M(in I, out A, out B) {
+          Outer: {
+            Inner: fork {
+              await I.now; break Inner
+            } par {
+              await I.now; break Outer
+            }
+            emit A
+          }
+          emit B
+        }
+        """
+        check_trace(src, [None, {"I"}], [set(), {"B"}])
+
+    def test_pillbox_doseok_pattern(self):
+        # phase structure of the paper's Lisinopril main loop
+        src = """
+        module M(in Try, in Conf, out Recorded, out Alarming) {
+          DoseOK: fork {
+            await Try.now;
+            await Conf.now;
+            emit Recorded;
+            break DoseOK
+          } par {
+            loop { emit Alarming; yield }
+          }
+        }
+        """
+        m = machine_for(src)
+        trace = presence_trace(m, [None, {"Try"}, None, {"Conf"}, None])
+        assert trace == [
+            {"Alarming"},
+            {"Alarming"},
+            {"Alarming"},
+            {"Alarming", "Recorded"},
+            set(),
+        ]

@@ -1,0 +1,96 @@
+"""Runtime signal state: per-instant invariants of now/pre/nowval/preval,
+including as hypothesis properties over random input traces."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import MultipleEmitError, ReactiveMachine
+from repro.runtime.signal import RuntimeSignal, SignalView
+from tests.helpers import machine_for
+
+import pytest
+
+
+class TestRuntimeSignalUnit:
+    def test_begin_instant_rolls_state(self):
+        sig = RuntimeSignal(0, "s", "s", "out", None)
+        sig.now = True
+        sig.nowval = 5
+        sig.begin_instant()
+        assert sig.pre is True and sig.preval == 5
+        assert sig.now is False and sig.nowval == 5  # value persists
+
+    def test_write_counts_emissions(self):
+        sig = RuntimeSignal(0, "s", "s", "out", None)
+        sig.write(1)
+        with pytest.raises(MultipleEmitError):
+            sig.write(2)
+
+    def test_combine_applied_in_order(self):
+        sig = RuntimeSignal(0, "s", "s", "out", lambda a, b: f"{a}|{b}")
+        sig.write("x")
+        sig.write("y")
+        sig.write("z")
+        assert sig.nowval == "x|y|z"
+
+    def test_initialize_does_not_count_as_emission(self):
+        sig = RuntimeSignal(0, "s", "s", "out", None)
+        sig.initialize(9)
+        sig.write(1)  # no MultipleEmitError
+        assert sig.nowval == 1
+
+    def test_view_is_read_only_window(self):
+        sig = RuntimeSignal(0, "s", "bound", "out", None)
+        view = SignalView(sig)
+        sig.now = True
+        sig.nowval = 3
+        assert view.now and view.nowval == 3
+        assert view.signame == "bound"
+
+
+ECHO = """
+module Echo(in I, out O) {
+  loop { if (I.now) { emit O(I.nowval) } yield }
+}
+"""
+
+
+class TestInstantInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.one_of(st.none(), st.integers(0, 9)), min_size=1, max_size=10))
+    def test_pre_equals_previous_now(self, trace):
+        machine = machine_for(ECHO)
+        prev_present = False
+        for value in trace:
+            inputs = {} if value is None else {"I": value}
+            machine.react(inputs)
+            assert machine.I.pre == prev_present
+            prev_present = machine.I.now
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.one_of(st.none(), st.integers(0, 9)), min_size=1, max_size=10))
+    def test_preval_equals_previous_nowval(self, trace):
+        machine = machine_for(ECHO)
+        prev_value = None
+        for value in trace:
+            machine.react({} if value is None else {"I": value})
+            assert machine.I.preval == prev_value
+            prev_value = machine.I.nowval
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.one_of(st.none(), st.integers(0, 9)), min_size=1, max_size=10))
+    def test_output_mirrors_input_exactly(self, trace):
+        machine = machine_for(ECHO)
+        for value in trace:
+            result = machine.react({} if value is None else {"I": value})
+            if value is None:
+                assert not result.present("O")
+            else:
+                assert result["O"] == value
+
+    def test_status_absent_by_default_every_instant(self):
+        machine = machine_for(ECHO)
+        machine.react({"I": 1})
+        assert machine.O.now
+        machine.react({})
+        assert not machine.O.now  # statuses do not persist
+        assert machine.O.nowval == 1  # values do

@@ -1,0 +1,150 @@
+"""Skini (paper section 4.2): model objects, score codegen, and full
+simulated performances."""
+
+import pytest
+
+from repro import compile_module
+from repro.apps.skini import (
+    Activate,
+    Audience,
+    AwaitSelections,
+    Fork,
+    Group,
+    Pattern,
+    Performance,
+    RunTank,
+    Score,
+    Section,
+    Sequence,
+    Synthesizer,
+    Tank,
+    generate_score_module,
+    make_large_score,
+    make_paper_score,
+)
+from repro.apps.skini.model import make_patterns
+from repro.apps.skini.score import generate_score_source
+
+
+class TestModel:
+    def test_group_selection_requires_active(self):
+        group = Group("Cellos", make_patterns("cello", 3))
+        with pytest.raises(ValueError):
+            group.select(group.patterns[0])
+        group.active = True
+        group.select(group.patterns[0])
+        group.select(group.patterns[0])  # groups allow repeats
+        assert group.selection_count == 2
+
+    def test_tank_patterns_selectable_once(self):
+        tank = Tank("T", make_patterns("tuba", 2))
+        tank.active = True
+        tank.select(tank.patterns[0])
+        with pytest.raises(ValueError):
+            tank.select(tank.patterns[0])
+        assert not tank.exhausted
+        tank.select(tank.patterns[1])
+        assert tank.exhausted
+        tank.refill()
+        assert not tank.exhausted
+
+    def test_synth_aligns_to_beat(self):
+        synth = Synthesizer(bpm=120)  # beat = 0.5s
+        play = synth.queue(1.2, Pattern("p", "x"), "G")
+        assert play.time_s == 1.5
+
+    def test_synth_instrument_histogram(self):
+        synth = Synthesizer()
+        synth.queue(0, Pattern("a", "cello"), "G")
+        synth.queue(0, Pattern("b", "cello"), "G")
+        synth.queue(0, Pattern("c", "horn"), "G")
+        assert synth.instruments() == {"cello": 2, "horn": 1}
+
+
+class TestScoreCodegen:
+    def test_paper_excerpt_shape(self):
+        source = generate_score_source(make_paper_score())
+        assert "abort (seconds.nowval >= 20)" in source
+        assert "await count(5, CellosIn.now)" in source
+        assert "run Tank_Trombones(...)" in source
+        assert "fork {" in source and "par {" in source
+
+    def test_generated_program_compiles_clean(self):
+        module, table = generate_score_module(make_paper_score())
+        compiled = compile_module(module, table)
+        assert compiled.warnings == []
+
+    def test_large_score_compiles(self):
+        module, table = generate_score_module(make_large_score(sections=4))
+        assert compile_module(module, table).stats()["nets"] > 100
+
+    def test_score_without_path_rejected(self):
+        with pytest.raises(ValueError):
+            generate_score_source(Score("Empty", []))
+
+
+class TestPerformance:
+    def test_cellos_open_first(self):
+        perf = Performance(make_paper_score(), Audience(size=0))
+        perf.step()
+        assert [g.name for g in perf.open_groups()] == ["Cellos"]
+
+    def test_five_cello_picks_open_trombones(self):
+        score = make_paper_score()
+        perf = Performance(score, Audience(size=0))
+        perf.step()
+        cellos = score.group("Cellos")
+        for _ in range(5):
+            pattern = cellos.selectable()[0]
+            cellos.select(pattern)
+            perf.synth.queue(1.0, pattern, "Cellos")
+            perf._react({"CellosIn": pattern.pid})
+        names = {g.name for g in perf.open_groups()}
+        assert "Trombones" in names
+
+    def test_tank_exhaustion_advances_score(self):
+        score = make_paper_score()
+        perf = Performance(score, Audience(size=40, eagerness=0.6, seed=11))
+        perf.run(25)
+        assert perf.finished
+        # every trombone pattern played exactly once
+        assert len(perf.synth.played("Trombones")) == 4
+        # trumpets and horns opened together after the trombone tank
+        trumpet_times = [p.time_s for p in perf.synth.played("Trumpets")]
+        trombone_times = [p.time_s for p in perf.synth.played("Trombones")]
+        assert min(trumpet_times) >= max(trombone_times)
+
+    def test_timed_section_cuts_off(self):
+        score = make_paper_score()
+        perf = Performance(score, Audience(size=1, eagerness=0.05, seed=5))
+        perf.run(40)  # sluggish audience: the 20s section aborts the path
+        assert perf.finished
+        assert perf.seconds <= 25
+
+    def test_deterministic_under_seed(self):
+        def run():
+            perf = Performance(make_paper_score(), Audience(size=20, seed=42))
+            perf.run(30)
+            return [(p.time_s, p.pattern.pid) for p in perf.synth.timeline]
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            perf = Performance(make_paper_score(), Audience(size=20, seed=seed))
+            perf.run(30)
+            return [(p.time_s, p.pattern.pid) for p in perf.synth.timeline]
+
+        assert run(1) != run(2)
+
+    def test_large_performance_meets_pulse_budget(self):
+        # paper section 5.3: reactions must stay well under the 300ms pulse
+        score = make_large_score(sections=6, groups_per_section=4)
+        perf = Performance(score, Audience(size=50, eagerness=0.5, seed=9))
+        perf.run(60)
+        assert perf.max_reaction_ms() < 300.0
+
+    def test_selection_counts_accumulate(self):
+        perf = Performance(make_paper_score(), Audience(size=30, eagerness=0.4, seed=7))
+        perf.run(25)
+        assert perf.audience.selections >= len(perf.synth.timeline) > 0

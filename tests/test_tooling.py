@@ -1,0 +1,119 @@
+"""Tooling: the reaction tracer and the GraphViz circuit exporter."""
+
+import pytest
+
+from repro import CausalityError, ReactiveMachine, parse_module
+from repro.compiler.dotgraph import circuit_to_dot, statement_to_dot
+from repro.runtime.tracing import Tracer
+from tests.helpers import machine_for
+
+ABRO = """
+module ABRO(in A, in B, in R, out O) {
+  do {
+    fork { await A.now } par { await B.now }
+    emit O
+  } every (R.now)
+}
+"""
+
+
+class TestTracer:
+    def _traced_abro(self):
+        machine = machine_for(ABRO)
+        tracer = Tracer(machine)
+        machine.react({})
+        machine.react({"A": True})
+        machine.react({"B": True})
+        machine.react({"R": True})
+        return machine, tracer
+
+    def test_records_every_reaction(self):
+        _machine, tracer = self._traced_abro()
+        assert len(tracer) == 4
+        assert [r.index for r in tracer.records] == [0, 1, 2, 3]
+
+    def test_events_query(self):
+        _machine, tracer = self._traced_abro()
+        assert tracer.events("O") == [(2, None)]
+
+    def test_inputs_query(self):
+        _machine, tracer = self._traced_abro()
+        assert tracer.reactions_with_input("A") == [1]
+        assert tracer.reactions_with_input("R") == [3]
+
+    def test_render_timeline(self):
+        _machine, tracer = self._traced_abro()
+        text = tracer.render()
+        assert text.count("\n") == 3
+        assert "O" in text and "paused" in text
+
+    def test_render_signal_grid(self):
+        _machine, tracer = self._traced_abro()
+        grid = tracer.render_signal_grid(["A", "B", "O"])
+        lines = grid.splitlines()
+        assert lines[1].startswith("A")
+        assert "#" in lines[3]  # O fired once
+
+    def test_final_state(self):
+        machine = machine_for("module M(out O) { emit O }")
+        tracer = Tracer(machine)
+        machine.react({})
+        assert tracer.final_state() == "terminated"
+
+    def test_detach_restores_react(self):
+        machine, tracer = self._traced_abro()
+        tracer.detach()
+        machine.react({})
+        assert len(tracer) == 4  # no longer recording
+
+    def test_limit_keeps_tail(self):
+        machine = machine_for("module M(in I, out O) { halt }")
+        tracer = Tracer(machine, limit=2)
+        for _ in range(5):
+            machine.react({})
+        assert len(tracer) == 2
+        assert tracer.records[-1].index == 4
+
+    def test_values_in_timeline(self):
+        machine = machine_for('module M(in I = 0, out O) { sustain O(I.nowval) }')
+        tracer = Tracer(machine)
+        machine.react({"I": 42})
+        assert "O=42" in tracer.render()
+        assert "I=42" in tracer.render()
+
+
+class TestDotExport:
+    def test_contains_all_net_kinds(self):
+        dot = statement_to_dot(
+            'module M(in I, out O) { await I.now; emit O(I.nowval + 1) }'
+        )
+        assert dot.startswith("digraph")
+        assert "box3d" in dot       # registers
+        assert "invhouse" in dot    # inputs
+        assert "diamond" in dot or "component" in dot  # augmented nets
+        assert "style=dashed" in dot  # data dependencies
+
+    def test_negated_edges_marked(self):
+        dot = statement_to_dot("module M(in I, out T, out E) { if (I.now) { emit T } else { emit E } }")
+        assert "arrowhead=odot" in dot
+
+    def test_truncation(self):
+        machine = machine_for(ABRO)
+        dot = circuit_to_dot(machine.compiled.circuit, max_nets=5)
+        assert "more nets" in dot
+
+    def test_highlight_causality_cycle(self):
+        machine = machine_for("module M(out X) { if (!X.now) { emit X } }")
+        try:
+            machine.react({})
+            raise AssertionError("expected deadlock")
+        except CausalityError as exc:
+            ids = [int(desc.split()[0][1:]) for desc in exc.nets]
+        dot = circuit_to_dot(machine.compiled.circuit, highlight=ids)
+        assert 'color="red"' in dot
+
+    def test_is_valid_dot_syntax_shape(self):
+        dot = statement_to_dot("module M(out O) { emit O }")
+        assert dot.count("{") == dot.count("}")
+        for line in dot.splitlines()[1:-1]:
+            assert line.endswith(";") or line.startswith("digraph") or line == "}"

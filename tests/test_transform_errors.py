@@ -1,0 +1,109 @@
+"""Variable-renaming transforms and the error/location infrastructure."""
+
+import pytest
+
+from repro.errors import (
+    CausalityError,
+    HipHopError,
+    MachineError,
+    MultipleEmitError,
+    ParseError,
+    SignalError,
+    SourceLocation,
+    ValidationError,
+)
+from repro.lang import ast as A
+from repro.lang import expr as E
+from repro.lang.transform import rename_vars_expr, rename_vars_host, rename_vars_stmt
+from repro.syntax import parse_expression, parse_statement
+
+
+class TestRenameVars:
+    def test_simple_var(self):
+        expr = parse_expression("n + m")
+        renamed = rename_vars_expr(expr, {"n": "n@Mod#1"})
+        assert renamed.free_vars() == {"n@Mod#1", "m"}
+
+    def test_lambda_params_shadow(self):
+        expr = parse_expression("xs.map(n => n + k)")
+        renamed = rename_vars_expr(expr, {"n": "OUT", "k": "K2"})
+        assert "OUT" not in renamed.free_vars()
+        assert "K2" in renamed.free_vars()
+
+    def test_all_expression_shapes(self):
+        source = "(a ? [b, {c: d[e]}] : f(g)) && !h"
+        expr = parse_expression(source)
+        mapping = {name: name.upper() for name in "abcdefgh"}
+        renamed = rename_vars_expr(expr, mapping)
+        # `c` is an object *key* (a string), not a variable
+        assert renamed.free_vars() == set("ABDEFGH")
+
+    def test_signals_untouched(self):
+        expr = parse_expression("sig.nowval + n")
+        renamed = rename_vars_expr(expr, {"sig": "X", "n": "Y"})
+        assert ("sig", "nowval") in renamed.signal_deps()
+
+    def test_assign_target_renamed(self):
+        host = A.Assign("n", parse_expression("n + 1"))
+        renamed = rename_vars_host(host, {"n": "N"})
+        assert renamed.name == "N"
+        assert renamed.value.free_vars() == {"N"}
+
+    def test_statement_tree_renaming(self):
+        stmt = parse_statement(
+            """
+            loop {
+              if (d > 0) { emit O(d) }
+              await count(d, S.now)
+            }
+            """
+        )
+        renamed = rename_vars_stmt(stmt, {"d": "d@Button#7"})
+        free = set()
+        for node in renamed.walk():
+            for expr in node.exprs():
+                free |= expr.free_vars()
+        assert free == {"d@Button#7"}
+
+    def test_empty_mapping_is_identity(self):
+        stmt = parse_statement("emit O(n)")
+        assert rename_vars_stmt(stmt, {}) is stmt
+
+    def test_exec_host_bodies_renamed(self):
+        stmt = parse_statement("async done { go(n) } kill { stop(n) }")
+        renamed = rename_vars_stmt(stmt, {"n": "N"})
+        free = set()
+        for expr in renamed.exprs():
+            free |= expr.free_vars()
+        assert "N" in free and "n" not in free
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for cls in (ParseError, ValidationError, CausalityError, SignalError,
+                    MachineError, MultipleEmitError):
+            assert issubclass(cls, HipHopError)
+        assert issubclass(MultipleEmitError, SignalError)
+
+    def test_source_location_format(self):
+        loc = SourceLocation("file.hh", 3, 7)
+        assert repr(loc) == "file.hh:3:7"
+        assert loc == SourceLocation("file.hh", 3, 7)
+        assert hash(loc) == hash(SourceLocation("file.hh", 3, 7))
+
+    def test_parse_error_includes_location(self):
+        err = ParseError("bad token", SourceLocation("x.hh", 2, 5))
+        assert "x.hh:2:5" in str(err)
+
+    def test_causality_error_lists_nets(self):
+        err = CausalityError("deadlock", ["#1 or foo", "#2 and bar"])
+        assert "#1 or foo" in str(err)
+        assert err.nets == ["#1 or foo", "#2 and bar"]
+
+    def test_single_handler_catches_everything(self):
+        from tests.helpers import machine_for
+
+        with pytest.raises(HipHopError):
+            machine_for("module M(out O) { loop { emit O } }")
+        with pytest.raises(HipHopError):
+            machine_for("module M(out O) { emit Ghost }")
