@@ -117,6 +117,16 @@ def e7():
           f"{len(CallbackLoginV2.NEW_COMPONENTS)} new")
 
 
+def r1():
+    print("\nR1 - resilience overhead (MainR vs Main, fault-free fast path)")
+    from bench_resilience import CYCLES, measure_overhead
+
+    plain, resilient, overhead = measure_overhead()
+    print(f"  plain Main:      {plain:8.2f} ms / {CYCLES} login cycles")
+    print(f"  resilient MainR: {resilient:8.2f} ms / {CYCLES} login cycles")
+    print(f"  overhead:        {overhead:8.1%} (budget 10%)")
+
+
 def a1():
     print("\nA1 - optimizer ablation (nets raw -> optimized)")
     from repro.apps.login import login_table
@@ -137,4 +147,5 @@ if __name__ == "__main__":
     e4_e5()
     e6()
     e7()
+    r1()
     a1()

@@ -2,15 +2,17 @@
 """The paper's login panel (sections 2 and 3), end to end.
 
 Runs the HipHop login against a simulated OAuth server and virtual DOM,
-then evolves to version 2.0 (quarantine after repeated failures) — with
-the version-1 modules reused completely unchanged.
+evolves to version 2.0 (quarantine after repeated failures) — with the
+version-1 modules reused completely unchanged — and finally swaps in the
+fault-tolerant authenticator, which rides out a server outage by retrying
+with exponential backoff.
 
     python examples/login_demo.py
 """
 
-from repro.apps.login import build_login_machine, build_login_v2_machine
+from repro.apps.login import build_login_machine, build_login_v2_machine, build_resilient_login_machine
 from repro.apps.login.gui import build_login_page
-from repro.host import AuthService, SimulatedLoop
+from repro.host import AuthService, FlakyService, RetryPolicy, SimulatedLoop
 
 
 def show(page, loop, label):
@@ -82,6 +84,36 @@ def version_2():
     show(page, loop, "correct password accepted")
 
 
+def version_resilient():
+    print("\n=== Login vR: retry through an outage (Main reused, Authenticate "
+          "wrapped) " + "=" * 2)
+    loop = SimulatedLoop()
+    # the auth server is down for the first 600 ms of the scenario, and
+    # randomly fails 20% of requests after that
+    service = FlakyService(
+        loop, {"alice": "secret"}, latency_ms=100,
+        error_rate=0.2, outage_windows=((0.0, 600.0),), seed=11,
+    )
+    machine = build_resilient_login_machine(
+        loop, service,
+        retry_policy=RetryPolicy(max_attempts=5, base_delay_ms=200.0),
+        timeout_ms=2_000,
+    )
+    page = build_login_page(machine)
+    machine.react({})
+
+    page.type_name("alice")
+    page.type_passwd("secret")
+    page.click_login()
+    show(page, loop, "clicked login during the outage")
+    loop.advance(500)
+    show(page, loop, "retries rejected so far")
+    loop.advance(1500)
+    show(page, loop, "a retry landed after the outage")
+    print(f"  flaky-server stats: {service.stats}")
+
+
 if __name__ == "__main__":
     version_1()
     version_2()
+    version_resilient()

@@ -17,6 +17,7 @@ from repro.apps.login.hiphop import (
     MAX_SESSION_TIME,
     build_login_machine,
     build_login_v2_machine,
+    build_resilient_login_machine,
     login_table,
 )
 from repro.apps.login.baseline import CallbackLogin, CallbackLoginV2
@@ -24,6 +25,7 @@ from repro.apps.login.baseline import CallbackLogin, CallbackLoginV2
 __all__ = [
     "build_login_machine",
     "build_login_v2_machine",
+    "build_resilient_login_machine",
     "login_table",
     "CallbackLogin",
     "CallbackLoginV2",

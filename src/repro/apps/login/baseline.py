@@ -18,7 +18,7 @@ unchanged.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, List
 
 from repro.apps.login.hiphop import MAX_SESSION_TIME
 

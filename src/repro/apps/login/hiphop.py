@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro.lang.ast import Module, ModuleTable
+from repro.lang.ast import ModuleTable
 from repro.runtime import ReactiveMachine
 from repro.stdlib import TIMER_SOURCE
 from repro.syntax import parse_program
@@ -110,6 +110,45 @@ module MainV2(tmo, out connState = "disconn" combine statePriority)
 }
 """
 
+#: The fault-tolerant Authenticate: the same call shape, but the post is
+#: wrapped in a host-side retry combinator (``authRetry``, see
+#: :func:`build_resilient_login_machine`), and a rejected request —
+#: retries exhausted, timeout, outage — lands on the ``catch`` branch and
+#: degrades to a denial instead of crashing the reaction.  Preemption
+#: still works unchanged: killing the async discards the whole retry
+#: chain's eventual settlement (stale generation).
+AUTHENTICATE_RETRY_SOURCE = """
+module AuthenticateR(in name, in passwd, out connState, out connected) {
+  emit connState("connecting");
+  async connected {
+    authRetry(() => authenticateSvc(name.nowval, passwd.nowval).post())
+      .then(v => this.notify(v))
+      .catch(e => this.notify(false))
+  }
+}
+"""
+
+#: ``Main`` with the fault-tolerant authenticator swapped in — the only
+#: textual difference from MAIN_SOURCE is `run AuthenticateR(...)`.
+MAIN_RESILIENT_SOURCE = """
+module MainR(in name = "", in passwd = "", in login, in logout,
+            out enableLogin, out connState = "disconn",
+            inout time = 0, inout connected) {
+  fork {
+    run Identity(...)
+  } par {
+    every (login.now) {
+      run AuthenticateR(...);
+      if (connected.nowval) {
+        run Session(...)
+      } else {
+        emit connState("error")
+      }
+    }
+  }
+}
+"""
+
 LOGIN_PROGRAM = "\n".join(
     [
         TIMER_SOURCE,
@@ -119,6 +158,8 @@ LOGIN_PROGRAM = "\n".join(
         MAIN_SOURCE,
         FREEZE_SOURCE,
         MAIN_V2_SOURCE,
+        AUTHENTICATE_RETRY_SOURCE,
+        MAIN_RESILIENT_SOURCE,
     ]
 )
 
@@ -174,6 +215,33 @@ def build_login_v2_machine(
         table.get("MainV2"),
         modules=table,
         host_globals=_host_globals(loop, auth_service, max_session_time),
+    )
+    machine.attach_loop(loop)
+    return machine
+
+
+def build_resilient_login_machine(
+    loop: Any,
+    auth_service: Any,
+    max_session_time: int = MAX_SESSION_TIME,
+    table: Optional[ModuleTable] = None,
+    retry_policy: Optional[Any] = None,
+    timeout_ms: Optional[float] = None,
+) -> ReactiveMachine:
+    """Compile ``MainR``: ``Main`` with authentication wrapped in
+    ``with_retry`` (exponential backoff on the host loop, per-attempt
+    ``timeout_ms``), so transient outages and hung requests degrade to a
+    denied login instead of a stuck "connecting" state."""
+    from repro.host.resilience import RetryPolicy, with_retry
+
+    table = table or login_table()
+    policy = retry_policy or RetryPolicy(max_attempts=4, base_delay_ms=200.0)
+    globals_ = _host_globals(loop, auth_service, max_session_time)
+    globals_["authRetry"] = lambda op: with_retry(loop, op, policy, timeout_ms=timeout_ms)
+    machine = ReactiveMachine(
+        table.get("MainR"),
+        modules=table,
+        host_globals=globals_,
     )
     machine.attach_loop(loop)
     return machine

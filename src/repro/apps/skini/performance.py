@@ -19,7 +19,7 @@ import time as _time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.runtime import ReactiveMachine
-from repro.apps.skini.model import Group, Pattern, Synthesizer, Tank
+from repro.apps.skini.model import Group, Pattern, Synthesizer
 from repro.apps.skini.score import Score, generate_score_module
 
 

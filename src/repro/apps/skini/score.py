@@ -20,10 +20,10 @@ The generated module follows the paper's excerpt::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple
 
 from repro.lang.ast import Module, ModuleTable
-from repro.apps.skini.model import Group, Pattern, Tank, make_patterns
+from repro.apps.skini.model import Group, Tank, make_patterns
 from repro.syntax import parse_program
 
 # ---------------------------------------------------------------------------

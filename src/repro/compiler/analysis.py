@@ -11,9 +11,9 @@ error; actual deadlocks are detected at run time by the scheduler.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, List, Set
 
-from repro.compiler.netlist import ACTION, EXPR, INPUT, REG, Circuit, Net
+from repro.compiler.netlist import INPUT, REG, Circuit, Net
 
 
 def combinational_edges(circuit: Circuit) -> Dict[int, List[int]]:

@@ -22,12 +22,11 @@ translator implements them with counter cells.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ExpansionError, LinkError
 from repro.lang import ast as A
 from repro.lang import expr as E
-from repro.lang.signals import SignalDecl, VarDecl
 from repro.lang.transform import rename_vars_stmt
 
 _fresh_labels = itertools.count()

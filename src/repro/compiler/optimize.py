@@ -23,19 +23,9 @@ compiler, so we report optimized and unoptimized sizes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
-from repro.compiler.netlist import (
-    ACTION,
-    AND,
-    EXPR,
-    INPUT,
-    OR,
-    REG,
-    Circuit,
-    Literal,
-    Net,
-)
+from repro.compiler.netlist import ACTION, AND, EXPR, OR, Circuit, Literal, Net
 
 _MAX_ROUNDS = 12
 
@@ -104,25 +94,25 @@ def _fold_gates(circuit: Circuit, protected: Set[int]) -> _Rewriter:
     for net in circuit.nets:
         if net.kind not in (AND, OR):
             continue
-        inputs = [rewriter.resolve(l) for l in net.inputs]
+        inputs = [rewriter.resolve(li) for li in net.inputs]
         if net.kind == OR:
-            if any(is_true(l) for l in inputs):
+            if any(is_true(li) for li in inputs):
                 inputs = [(const1, False)]
             else:
-                inputs = [l for l in inputs if not is_false(l)]
+                inputs = [li for li in inputs if not is_false(li)]
         else:
-            if any(is_false(l) for l in inputs):
+            if any(is_false(li) for li in inputs):
                 inputs = [(const0, False)]
             else:
-                inputs = [l for l in inputs if not is_true(l)]
+                inputs = [li for li in inputs if not is_true(li)]
         # dedupe identical fanins; detect x OR !x (leave it: it is not
         # constant under constructive semantics)
         seen: Set[Literal] = set()
         unique: List[Literal] = []
-        for l in inputs:
-            if l not in seen:
-                seen.add(l)
-                unique.append(l)
+        for li in inputs:
+            if li not in seen:
+                seen.add(li)
+                unique.append(li)
         net.inputs = unique
         if net.id in protected or net.id in (const0, const1):
             continue
@@ -158,7 +148,7 @@ def _apply(circuit: Circuit, rewriter: _Rewriter, protected: Set[int]) -> None:
         return
     const0 = circuit.const0().id
     for net in circuit.nets:
-        net.inputs = [rewriter.resolve(l) for l in net.inputs]
+        net.inputs = [rewriter.resolve(li) for li in net.inputs]
         if net.kind in (EXPR, ACTION):
             # an action/expr net whose enable folded to constant-false can
             # never fire: rewire it so the sweep can drop it

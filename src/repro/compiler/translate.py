@@ -24,21 +24,13 @@ forced to ``always``/``never`` for the ablation benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CompileError
 from repro.lang import ast as A
 from repro.lang import expr as E
 from repro.lang.signals import SignalDecl
-from repro.compiler.netlist import (
-    Circuit,
-    CounterInfo,
-    ExecInfo,
-    Literal,
-    Net,
-    SignalInfo,
-    lit,
-)
+from repro.compiler.netlist import Circuit, Literal, Net, SignalInfo, lit
 
 AUTO = "auto"
 ALWAYS = "always"
@@ -96,12 +88,12 @@ class Translator:
 
     def _or(self, lits: Sequence[Literal], label: str = "or", loc=None) -> Literal:
         out: List[Literal] = []
-        for l in lits:
-            if l == self.TRUE or l == _neg(self.FALSE):
+        for li in lits:
+            if li == self.TRUE or li == _neg(self.FALSE):
                 return self.TRUE
-            if l == self.FALSE or l == _neg(self.TRUE):
+            if li == self.FALSE or li == _neg(self.TRUE):
                 continue
-            out.append(l)
+            out.append(li)
         if not out:
             return self.FALSE
         if len(out) == 1:
@@ -110,12 +102,12 @@ class Translator:
 
     def _and(self, lits: Sequence[Literal], label: str = "and", loc=None) -> Literal:
         out: List[Literal] = []
-        for l in lits:
-            if l == self.FALSE or l == _neg(self.TRUE):
+        for li in lits:
+            if li == self.FALSE or li == _neg(self.TRUE):
                 return self.FALSE
-            if l == self.TRUE or l == _neg(self.FALSE):
+            if li == self.TRUE or li == _neg(self.FALSE):
                 continue
-            out.append(l)
+            out.append(li)
         if not out:
             return self.TRUE
         if len(out) == 1:

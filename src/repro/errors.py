@@ -106,3 +106,47 @@ class MachineError(HipHopError):
 class InstantaneousLoopError(ValidationError):
     """A ``loop`` body may terminate in the same instant it starts, which
     would make the reaction diverge.  Rejected statically, as in Esterel."""
+
+
+# ---------------------------------------------------------------------------
+# The asynchronous boundary (host services, supervision combinators)
+# ---------------------------------------------------------------------------
+
+
+class AsyncError(HipHopError):
+    """Base class for failures crossing the asynchronous boundary: remote
+    services rejecting, timing out, hanging, or being shielded by a
+    supervision combinator.  These are *values* flowing through promise
+    rejection paths, not control-flow exceptions inside a reaction."""
+
+
+class ServiceFailure(AsyncError):
+    """A simulated remote service rejected the request (the generic
+    injected-fault rejection of :class:`repro.host.FlakyService`)."""
+
+
+class ServiceUnavailable(ServiceFailure):
+    """The request arrived during a configured outage window."""
+
+
+class ServiceTimeout(AsyncError):
+    """No reply arrived within the configured timeout; the late reply (if
+    any) is discarded by the settle-once promise discipline."""
+
+
+class CircuitOpenError(AsyncError):
+    """A :class:`repro.host.CircuitBreaker` rejected the call without
+    attempting it because the circuit is open (or saturated half-open)."""
+
+
+class RetryExhaustedError(AsyncError):
+    """``with_retry`` gave up: every attempt rejected.
+
+    :param attempts: number of attempts made.
+    :param errors: the per-attempt rejection reasons, oldest first.
+    """
+
+    def __init__(self, message: str, attempts: int = 0, errors: Sequence[BaseException] = ()):
+        self.attempts = attempts
+        self.errors = list(errors)
+        super().__init__(message)

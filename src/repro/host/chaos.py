@@ -1,0 +1,108 @@
+"""Deterministic fault injection for the host loop.
+
+:class:`ChaosLoop` is a :class:`~repro.host.SimulatedLoop` that perturbs
+the schedule the way a loaded machine or a flaky transport would — timers
+drift within a slack window (reordering near-simultaneous callbacks), and
+``call_soon`` wakeups are dropped or duplicated — while staying fully
+deterministic: one seed, one schedule.  A failing seed is therefore a
+reproducible test case, not a flake.
+
+The perturbations deliberately target the two channels the reactive
+machine relies on: timers (service latencies, HipHop ``Timer`` modules)
+and ``call_soon`` (queued reactions from ``this.react`` / ``notify``).
+Safety invariants — no stale grant after preemption, no double dispense —
+must survive *any* such schedule; liveness only holds when wakeups are
+not dropped, so keep ``drop_soon_rate`` at zero for convergence checks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional
+
+from repro.host.loop import SimulatedLoop, TimerHandle
+
+
+class _PhasedIntervalHandle:
+    """Cancellation token for a phase-shifted interval: cancels the arming
+    timeout and, once armed, the interval itself."""
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self.inner: Optional[TimerHandle] = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self.inner is not None:
+            self.inner.cancel()
+
+
+class ChaosLoop(SimulatedLoop):
+    """A seeded, schedule-perturbing :class:`SimulatedLoop`.
+
+    :param seed: RNG seed; the whole perturbed schedule is a pure function
+        of it (and the program's scheduling calls).  Pass ``rng`` to share
+        a generator instead.
+    :param timer_slack_ms: each ``set_timeout`` delay is shifted by a
+        uniform draw in ``[-slack, +slack]`` (clamped at 0), reordering
+        timers closer together than the slack.  Interval *periods* are
+        kept exact so periodic processes stay periodic; only their phase
+        shifts.
+    :param drop_soon_rate: probability a ``call_soon`` callback is lost.
+    :param duplicate_soon_rate: probability a ``call_soon`` callback runs
+        twice (at-least-once delivery).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        timer_slack_ms: float = 0.0,
+        drop_soon_rate: float = 0.0,
+        duplicate_soon_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__()
+        self.seed = seed
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.timer_slack_ms = timer_slack_ms
+        self.drop_soon_rate = drop_soon_rate
+        self.duplicate_soon_rate = duplicate_soon_rate
+        #: how much chaos was actually injected, for reports and debugging
+        self.chaos_stats: Dict[str, int] = {"jittered": 0, "dropped": 0, "duplicated": 0}
+
+    def set_timeout(self, callback: Callable[[], None], delay_ms: float) -> TimerHandle:
+        if self.timer_slack_ms:
+            shift = self.rng.uniform(-self.timer_slack_ms, self.timer_slack_ms)
+            delay_ms = max(0.0, delay_ms + shift)
+            self.chaos_stats["jittered"] += 1
+        return super().set_timeout(callback, delay_ms)
+
+    def set_interval(self, callback: Callable[[], None], period_ms: float) -> Any:
+        # Shift only the first firing: the period itself stays exact.
+        if not self.timer_slack_ms:
+            return super().set_interval(callback, period_ms)
+        phase = self.rng.uniform(0.0, self.timer_slack_ms)
+        self.chaos_stats["jittered"] += 1
+        handle = _PhasedIntervalHandle()
+
+        def arm() -> None:
+            if not handle.cancelled:
+                handle.inner = SimulatedLoop.set_interval(self, callback, period_ms)
+
+        SimulatedLoop.set_timeout(self, arm, phase)
+        return handle
+
+    def call_soon(self, callback: Callable[[], None]) -> None:
+        if self.drop_soon_rate and self.rng.random() < self.drop_soon_rate:
+            self.chaos_stats["dropped"] += 1
+            return
+        super().call_soon(callback)
+        if self.duplicate_soon_rate and self.rng.random() < self.duplicate_soon_rate:
+            self.chaos_stats["duplicated"] += 1
+            super().call_soon(callback)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosLoop(seed={self.seed}, slack={self.timer_slack_ms}ms, "
+            f"stats={self.chaos_stats})"
+        )

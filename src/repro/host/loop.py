@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 
 class TimerHandle:
@@ -47,7 +48,7 @@ class SimulatedLoop:
     def __init__(self) -> None:
         self.now_ms: float = 0.0
         self._heap: List[Tuple[float, int, TimerHandle, Callable[[], None], Optional[float]]] = []
-        self._soon: List[Callable[[], None]] = []
+        self._soon: Deque[Callable[[], None]] = deque()
         self._uids = itertools.count()
 
     # -- the JavaScript-style timer API --------------------------------------
@@ -82,7 +83,7 @@ class SimulatedLoop:
         Returns the number executed."""
         count = 0
         while self._soon:
-            callback = self._soon.pop(0)
+            callback = self._soon.popleft()
             callback()
             count += 1
             if count > 1_000_000:
@@ -111,9 +112,13 @@ class SimulatedLoop:
         return self.advance(seconds * 1000.0)
 
     def run_until_idle(self, max_ms: float = 3_600_000.0) -> int:
-        """Advance until no timers remain (bounded by ``max_ms``)."""
+        """Advance until no timers remain, or at most ``max_ms`` past the
+        current instant.  The bound is fixed at entry, so a self-rearming
+        timer chain (each callback scheduling the next) terminates after
+        ``max_ms`` of virtual time instead of sliding the window forever."""
+        deadline = self.now_ms + max_ms
         fired = self.flush_soon()
-        while self._heap and self._heap[0][0] <= self.now_ms + max_ms:
+        while self._heap and self._heap[0][0] <= deadline:
             fired += self.advance(self._heap[0][0] - self.now_ms)
         return fired
 
@@ -132,13 +137,34 @@ class SimulatedLoop:
 
 
 class AsyncioLoop:
-    """Thin adapter exposing the same interface over a real asyncio loop."""
+    """Thin adapter exposing the same interface over a real asyncio loop.
+
+    Without an explicit ``loop`` the adapter binds to the *running* loop
+    (``asyncio.get_event_loop`` is deprecated outside one and would create
+    a stray loop); construct it inside ``asyncio.run(...)`` or pass the
+    loop you drive yourself.
+    """
 
     def __init__(self, loop: Optional[Any] = None):
         import asyncio
 
         self._asyncio = asyncio
-        self.loop = loop or asyncio.get_event_loop()
+        if loop is None:
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                raise RuntimeError(
+                    "AsyncioLoop: no running asyncio event loop; construct the "
+                    "adapter inside asyncio.run(...) (or a running loop), or "
+                    "pass an event loop explicitly"
+                ) from None
+        self.loop = loop
+
+    @property
+    def now_ms(self) -> float:
+        """The loop's monotonic clock, in milliseconds (same unit and
+        binding name as :attr:`SimulatedLoop.now_ms`)."""
+        return self.loop.time() * 1000.0
 
     def set_timeout(self, callback: Callable[[], None], delay_ms: float) -> Any:
         return self.loop.call_later(delay_ms / 1000.0, callback)
@@ -172,9 +198,12 @@ class AsyncioLoop:
         self.loop.call_soon(callback)
 
     def bindings(self) -> Dict[str, Any]:
+        # Same surface as SimulatedLoop.bindings(): programs using `now()`
+        # must stay portable across the two loops.
         return {
             "setInterval": lambda fn, ms: self.set_interval(fn, ms),
             "clearInterval": self.clear_interval,
             "setTimeout": lambda fn, ms: self.set_timeout(fn, ms),
             "clearTimeout": self.clear_timeout,
+            "now": lambda: self.now_ms,
         }

@@ -1,0 +1,278 @@
+"""Supervision combinators for the asynchronous boundary.
+
+The paper's ``async … kill …`` statement gives HipHop programs *temporal*
+control over asynchronous work (preempt it, race it against signals), but
+the host side still needs the classic supervision toolkit: timeouts,
+retries with backoff, and circuit breakers.  These combinators wrap any
+*promise-like* object — anything with ``.then(fn)`` and (optionally)
+``.catch(fn)``, such as :class:`repro.host.ServiceResponse` — and
+schedule exclusively on the host loop's timers, so under
+:class:`repro.host.SimulatedLoop` every retry schedule and breaker
+transition is deterministic and replayable.
+
+All rejection reasons are :class:`repro.errors.AsyncError` subclasses;
+nothing here raises across the loop — failures stay values on the
+rejection path, ready to be turned into HipHop signals (see
+:mod:`repro.stdlib.resilience`).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import CircuitOpenError, RetryExhaustedError, ServiceTimeout
+from repro.host.services import ServiceResponse
+
+
+def loop_now_ms(loop: Any) -> float:
+    """The loop's clock in milliseconds; wall clock when the loop has no
+    ``now_ms`` (both our loops do — this is a fallback for foreign loops)."""
+    now = getattr(loop, "now_ms", None)
+    return float(now) if now is not None else time.monotonic() * 1000.0
+
+
+def _chain(promise: Any, on_value: Callable[[Any], None], on_error: Callable[[Any], None]) -> None:
+    promise.then(on_value)
+    catch = getattr(promise, "catch", None)
+    if catch is not None:
+        catch(on_error)
+
+
+def with_timeout(loop: Any, promise: Any, timeout_ms: float) -> ServiceResponse:
+    """A response that mirrors ``promise`` but rejects with
+    :class:`ServiceTimeout` if it has not settled within ``timeout_ms``.
+    The underlying promise is not cancelled; its late settlement is simply
+    discarded (settle-once)."""
+    guarded = ServiceResponse(loop)
+    handle = loop.set_timeout(
+        lambda: guarded.reject(ServiceTimeout(f"no reply within {timeout_ms:g} ms")),
+        timeout_ms,
+    )
+
+    def settle(settle_fn: Callable[[Any], None]) -> Callable[[Any], None]:
+        def deliver(payload: Any) -> None:
+            handle.cancel()
+            settle_fn(payload)
+
+        return deliver
+
+    _chain(promise, settle(guarded.resolve), settle(guarded.reject))
+    return guarded
+
+
+class RetryPolicy:
+    """Exponential backoff with optional jitter.
+
+    Delay before attempt ``n+1`` is
+    ``min(base * factor**(n-1), max_delay) + uniform(0, jitter)``, drawn
+    from the injected RNG — seed it (or share the loop's seeded RNG) for
+    deterministic schedules under :class:`SimulatedLoop`.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay_ms: float = 100.0,
+        factor: float = 2.0,
+        max_delay_ms: float = 10_000.0,
+        jitter_ms: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay_ms = base_delay_ms
+        self.factor = factor
+        self.max_delay_ms = max_delay_ms
+        self.jitter_ms = jitter_ms
+        self.rng = rng if rng is not None else random.Random(0)
+
+    def delay_ms(self, attempt: int) -> float:
+        """Backoff delay after the ``attempt``-th failure (1-based)."""
+        delay = min(self.base_delay_ms * self.factor ** (attempt - 1), self.max_delay_ms)
+        if self.jitter_ms:
+            delay += self.rng.uniform(0.0, self.jitter_ms)
+        return delay
+
+
+def with_retry(
+    loop: Any,
+    operation: Callable[[], Any],
+    policy: Optional[RetryPolicy] = None,
+    timeout_ms: Optional[float] = None,
+) -> ServiceResponse:
+    """Run ``operation()`` (returning a promise-like) until it resolves,
+    retrying rejected attempts on the policy's backoff schedule.
+
+    ``timeout_ms`` wraps each attempt in :func:`with_timeout`, so hung
+    requests count as failures instead of stalling the retry loop.  After
+    ``policy.max_attempts`` rejections the result rejects with
+    :class:`RetryExhaustedError` carrying the per-attempt errors.
+    """
+    policy = policy or RetryPolicy()
+    result = ServiceResponse(loop)
+    errors: List[BaseException] = []
+
+    def attempt() -> None:
+        try:
+            promise = operation()
+        except Exception as err:
+            on_error(err)
+            return
+        if timeout_ms is None:
+            _chain(promise, result.resolve, on_error)
+            return
+        # timeout inlined (not composed via with_timeout) to keep the
+        # fault-free fast path at a single extra dispatch hop
+        settled = [False]
+
+        def deliver(settle_fn: Callable[[Any], None], payload: Any) -> None:
+            if settled[0]:
+                return
+            settled[0] = True
+            handle.cancel()
+            settle_fn(payload)
+
+        handle = loop.set_timeout(
+            lambda: deliver(on_error, ServiceTimeout(f"no reply within {timeout_ms:g} ms")),
+            timeout_ms,
+        )
+        _chain(
+            promise,
+            lambda value: deliver(result.resolve, value),
+            lambda err: deliver(on_error, err),
+        )
+
+    def on_error(err: Any) -> None:
+        errors.append(err)
+        if len(errors) >= policy.max_attempts:
+            result.reject(
+                RetryExhaustedError(
+                    f"all {policy.max_attempts} attempts failed (last: {err!r})",
+                    attempts=len(errors),
+                    errors=errors,
+                )
+            )
+        else:
+            loop.set_timeout(attempt, policy.delay_ms(len(errors)))
+
+    attempt()
+    return result
+
+
+class CircuitBreaker:
+    """A closed/open/half-open breaker around promise-returning calls.
+
+    * **closed** — calls pass through; ``failure_threshold`` *consecutive*
+      rejections open the circuit.
+    * **open** — calls reject immediately with :class:`CircuitOpenError`
+      (no load reaches the service) until ``cooldown_ms`` of loop time has
+      passed.
+    * **half-open** — after the cooldown, up to ``half_open_probes``
+      concurrent probe calls pass through; a probe success closes the
+      circuit, a probe failure re-opens it for another cooldown.
+
+    Transitions are evaluated lazily against the loop clock on each
+    :meth:`call`, so the breaker needs no timers of its own and behaves
+    identically on simulated and real loops.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        loop: Any,
+        failure_threshold: int = 5,
+        cooldown_ms: float = 30_000.0,
+        half_open_probes: int = 1,
+        name: str = "breaker",
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self._loop = loop
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self.half_open_probes = half_open_probes
+        self.name = name
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ms: Optional[float] = None
+        self._probes_in_flight = 0
+        self.stats: Dict[str, int] = {
+            "calls": 0,
+            "successes": 0,
+            "failures": 0,
+            "fast_rejections": 0,
+            "opens": 0,
+        }
+
+    def _refresh(self) -> None:
+        if (
+            self.state == self.OPEN
+            and loop_now_ms(self._loop) - (self.opened_at_ms or 0.0) >= self.cooldown_ms
+        ):
+            self.state = self.HALF_OPEN
+            self._probes_in_flight = 0
+
+    def _open(self) -> None:
+        self.state = self.OPEN
+        self.opened_at_ms = loop_now_ms(self._loop)
+        self.stats["opens"] += 1
+
+    def call(self, operation: Callable[[], Any]) -> Any:
+        """Invoke ``operation()`` through the breaker; returns its promise,
+        or an immediately-rejected :class:`ServiceResponse` when the
+        circuit refuses the call."""
+        self._refresh()
+        self.stats["calls"] += 1
+        if self.state == self.OPEN or (
+            self.state == self.HALF_OPEN and self._probes_in_flight >= self.half_open_probes
+        ):
+            self.stats["fast_rejections"] += 1
+            rejected = ServiceResponse(self._loop)
+            rejected.reject(CircuitOpenError(f"circuit {self.name!r} is {self.state}"))
+            return rejected
+        if self.state == self.HALF_OPEN:
+            self._probes_in_flight += 1
+        try:
+            promise = operation()
+        except Exception as err:
+            self._on_failure(err)
+            rejected = ServiceResponse(self._loop)
+            rejected.reject(err)
+            return rejected
+        _chain(promise, self._on_success, self._on_failure)
+        return promise
+
+    def _on_success(self, _value: Any) -> None:
+        self.stats["successes"] += 1
+        self.consecutive_failures = 0
+        if self.state == self.HALF_OPEN:
+            self.state = self.CLOSED
+            self._probes_in_flight = 0
+
+    def _on_failure(self, _error: Any) -> None:
+        self.stats["failures"] += 1
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            self._open()
+        elif self.state == self.CLOSED and self.consecutive_failures >= self.failure_threshold:
+            self._open()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A point-in-time view for ``machine.health`` and dashboards."""
+        self._refresh()
+        return {
+            "name": self.name,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "opened_at_ms": self.opened_at_ms,
+            **self.stats,
+        }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.name!r}, {self.state})"

@@ -30,7 +30,7 @@ compiled circuit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import CausalityError, HipHopError
@@ -409,10 +409,8 @@ class Interpreter:
             if res and selected:
                 guard = self._eval3(stmt.delay.expr, scope, statuses)
             go_guard = None
-            body_go = go
             if go and stmt.delay.immediate:
                 go_guard = self._eval3(stmt.delay.expr, scope, statuses)
-                body_go = go and go_guard is FALSE
             codes: Set[int] = set()
             emits: Set[int] = set()
             blocked = False

@@ -17,7 +17,7 @@ All nodes support structural equality (for parser/pretty round-trip tests),
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.errors import SourceLocation
 from repro.lang import expr as E

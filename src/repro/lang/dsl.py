@@ -28,7 +28,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Unio
 
 from repro.lang import ast as A
 from repro.lang import expr as E
-from repro.lang.signals import IN, INOUT, LOCAL, OUT, SignalDecl, VarDecl
+from repro.lang.signals import LOCAL, SignalDecl, VarDecl
 
 ExprLike = Union[E.Expr, str, int, float, bool, None]
 DelayLike = Union[A.Delay, ExprLike]

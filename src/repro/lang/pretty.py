@@ -9,7 +9,7 @@ excluded from round-tripping.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.lang import ast as A
 from repro.lang import expr as E

@@ -14,6 +14,26 @@ from typing import Any, Dict, Optional
 from repro.lang.ast import ExecContext
 
 
+class ExecFailure:
+    """One caught exception from an exec host action (start/kill/suspend/
+    resume), as recorded on :attr:`ExecState.last_error` and handed to
+    ``on_exec_error`` callbacks."""
+
+    __slots__ = ("slot", "phase", "error", "reaction")
+
+    def __init__(self, slot: int, phase: str, error: BaseException, reaction: int):
+        self.slot = slot
+        self.phase = phase
+        self.error = error
+        self.reaction = reaction
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecFailure(slot={self.slot}, phase={self.phase!r}, "
+            f"reaction={self.reaction}, error={self.error!r})"
+        )
+
+
 class ExecHandle(ExecContext):
     """The object bound to ``this`` in async bodies.
 
@@ -55,7 +75,15 @@ class ExecHandle(ExecContext):
 class ExecState:
     """Machine-side bookkeeping for one exec slot."""
 
-    __slots__ = ("slot", "running", "generation", "pending", "pending_value", "handle")
+    __slots__ = (
+        "slot",
+        "running",
+        "generation",
+        "pending",
+        "pending_value",
+        "handle",
+        "last_error",
+    )
 
     def __init__(self, slot: int):
         self.slot = slot
@@ -64,12 +92,16 @@ class ExecState:
         self.pending = False
         self.pending_value: Any = None
         self.handle: Optional[ExecHandle] = None
+        #: the most recent :class:`ExecFailure` of this slot (persists
+        #: until the next invocation starts, for post-mortem inspection)
+        self.last_error: Optional[ExecFailure] = None
 
     def start(self, machine: Any, scope: Dict[str, int]) -> ExecHandle:
         self.generation += 1
         self.running = True
         self.pending = False
         self.pending_value = None
+        self.last_error = None
         self.handle = ExecHandle(machine, self.slot, self.generation, scope)
         return self.handle
 

@@ -27,14 +27,13 @@ deferred and run immediately after it, preserving atomicity.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
 
 from repro.errors import MachineError, SignalError
 from repro.lang import ast as A
 from repro.lang import expr as E
 from repro.compiler.compile import CompiledModule, CompileOptions, compile_module
-from repro.compiler.netlist import Circuit
-from repro.runtime.execblock import ExecHandle, ExecState
+from repro.runtime.execblock import ExecFailure, ExecHandle, ExecState
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.signal import RuntimeSignal, SignalView
 
@@ -140,6 +139,7 @@ class ReactiveMachine:
         options: Optional[CompileOptions] = None,
         host_globals: Optional[Dict[str, Any]] = None,
         loop: Optional[Any] = None,
+        on_exec_error: Union[str, Callable[[ExecFailure], None]] = "raise",
     ):
         if isinstance(module, CompiledModule):
             self.compiled = module
@@ -171,6 +171,15 @@ class ReactiveMachine:
         self._deferred: List[Dict[str, Any]] = []
         self.terminated = False
         self.reaction_count = 0
+
+        #: what to do with exceptions raised inside exec host actions:
+        #: ``"raise"`` (default: record, then propagate), ``"signal:<name>"``
+        #: (record and queue a reaction emitting input ``<name>`` with the
+        #: error), or a callable invoked with the :class:`ExecFailure`.
+        self.on_exec_error = on_exec_error
+        self._failed_reactions = 0
+        self._exec_failures = 0
+        self._breakers: Dict[str, Any] = {}
 
         self._boot_values()
 
@@ -225,10 +234,15 @@ class ReactiveMachine:
                 "reentrant react(): reactions are atomic; use this.react() "
                 "from async bodies to queue one"
             )
-        result = self._react_once(inputs or {})
-        # Serve reactions queued by notify()/this.react() during this one.
-        while self._deferred:
-            self._react_once(self._deferred.pop(0))
+        try:
+            result = self._react_once(inputs or {})
+            # Serve reactions queued by notify()/this.react() during this one.
+            while self._deferred:
+                self._react_once(self._deferred.pop(0))
+        except Exception:
+            self._failed_reactions += 1
+            self._deferred.clear()
+            raise
         return result
 
     def _react_once(self, inputs: Dict[str, Any]) -> ReactionResult:
@@ -302,7 +316,10 @@ class ReactiveMachine:
         self._scheduler.clear_state()
         for state in self._execs:
             state.stop()
+            state.last_error = None
         self._counters = [0] * len(self._counters)
+        self._failed_reactions = 0
+        self._exec_failures = 0
         for signal in self._signals:
             signal.now = signal.pre = False
             signal.nowval = signal.preval = None
@@ -371,7 +388,7 @@ class ReactiveMachine:
         state = self._execs[slot]
         info = self.compiled.circuit.execs[slot]
         handle = state.start(self, scope)
-        self._run_exec_action(info.stmt.start, handle)
+        self._run_exec_action(info.stmt.start, handle, "start")
 
     def kill_exec(self, slot: int) -> None:
         state = self._execs[slot]
@@ -381,19 +398,19 @@ class ReactiveMachine:
         handle = state.handle
         state.stop()
         if info.stmt.kill is not None and handle is not None:
-            self._run_exec_action(info.stmt.kill, handle)
+            self._run_exec_action(info.stmt.kill, handle, "kill")
 
     def suspend_exec(self, slot: int) -> None:
         state = self._execs[slot]
         info = self.compiled.circuit.execs[slot]
         if state.running and info.stmt.on_suspend is not None and state.handle:
-            self._run_exec_action(info.stmt.on_suspend, state.handle)
+            self._run_exec_action(info.stmt.on_suspend, state.handle, "suspend")
 
     def resume_exec(self, slot: int) -> None:
         state = self._execs[slot]
         info = self.compiled.circuit.execs[slot]
         if state.running and info.stmt.on_resume is not None and state.handle:
-            self._run_exec_action(info.stmt.on_resume, state.handle)
+            self._run_exec_action(info.stmt.on_resume, state.handle, "resume")
 
     def finish_exec(self, slot: int) -> None:
         """The completion instant: write the notified value into the
@@ -412,13 +429,61 @@ class ReactiveMachine:
         state.pending_value = value
         self.queue_react({})
 
-    def _run_exec_action(self, action: Any, handle: ExecHandle) -> None:
-        if callable(action):
-            action(handle)
-            return
-        env = E.ScopedEnv(handle.env, {"this": handle})
-        for stmt in action:
-            stmt.execute(env)
+    def _run_exec_action(self, action: Any, handle: ExecHandle, phase: str) -> None:
+        """Run an exec host action under supervision: an exception is
+        caught per-slot, recorded, and routed by ``on_exec_error`` instead
+        of unconditionally crashing the reaction."""
+        try:
+            if callable(action):
+                action(handle)
+                return
+            env = E.ScopedEnv(handle.env, {"this": handle})
+            for stmt in action:
+                stmt.execute(env)
+        except Exception as err:
+            failure = ExecFailure(handle._slot, phase, err, self.reaction_count)
+            self._execs[handle._slot].last_error = failure
+            self._exec_failures += 1
+            policy = self.on_exec_error
+            if callable(policy):
+                policy(failure)
+            elif isinstance(policy, str) and policy.startswith("signal:"):
+                name = policy[len("signal:"):]
+                info = self.compiled.circuit.interface.get(name)
+                if info is None or info.input_net is None:
+                    raise MachineError(
+                        f"on_exec_error policy names {name!r}, which is not an "
+                        "input signal of this machine"
+                    ) from err
+                self.queue_react({name: err})
+            else:
+                raise
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+
+    def register_breaker(self, breaker: Any, name: Optional[str] = None) -> Any:
+        """Expose a :class:`~repro.host.CircuitBreaker`'s state in this
+        machine's :attr:`health` snapshot.  Returns the breaker."""
+        self._breakers[name or getattr(breaker, "name", f"breaker{len(self._breakers)}")] = breaker
+        return breaker
+
+    @property
+    def health(self) -> Dict[str, Any]:
+        """A point-in-time health snapshot: reaction and failure counts,
+        exec-slot errors, and the state of every registered breaker."""
+        exec_errors = [
+            state.last_error for state in self._execs if state.last_error is not None
+        ]
+        return {
+            "reactions": self.reaction_count,
+            "failed_reactions": self._failed_reactions,
+            "exec_failures": self._exec_failures,
+            "execs_running": sum(1 for state in self._execs if state.running),
+            "exec_errors": exec_errors,
+            "breakers": {name: b.snapshot() for name, b in self._breakers.items()},
+        }
 
     # ------------------------------------------------------------------
 

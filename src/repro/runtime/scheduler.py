@@ -28,7 +28,7 @@ from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CausalityError
-from repro.compiler.netlist import ACTION, AND, EXPR, INPUT, OR, REG, Circuit, Net
+from repro.compiler.netlist import AND, EXPR, INPUT, OR, REG, Circuit, Net
 
 UNKNOWN = None
 

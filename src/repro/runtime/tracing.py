@@ -25,15 +25,24 @@ from typing import Any, Dict, List, Optional, Tuple
 class ReactionRecord:
     """Everything observable about one reaction."""
 
-    __slots__ = ("index", "inputs", "outputs", "statuses", "paused", "terminated")
+    __slots__ = ("index", "inputs", "outputs", "statuses", "paused", "terminated", "health")
 
-    def __init__(self, index: int, inputs: Dict[str, Any], result: Any):
+    def __init__(
+        self,
+        index: int,
+        inputs: Dict[str, Any],
+        result: Any,
+        health: Optional[Dict[str, Any]] = None,
+    ):
         self.index = index
         self.inputs = dict(inputs)
         self.outputs = dict(result)
         self.statuses = dict(result.statuses)
         self.paused = result.paused
         self.terminated = result.terminated
+        #: the machine's health snapshot right after this reaction (None
+        #: when the traced object exposes no ``health``)
+        self.health = health
 
     def describe(self) -> str:
         def fmt(d: Dict[str, Any]) -> str:
@@ -69,7 +78,8 @@ class Tracer:
     def _traced_react(self, inputs: Optional[Dict[str, Any]] = None):
         inputs = inputs or {}
         result = self._original(inputs)
-        self.records.append(ReactionRecord(self._counter, inputs, result))
+        health = getattr(self.machine, "health", None)
+        self.records.append(ReactionRecord(self._counter, inputs, result, health))
         self._counter += 1
         if self.limit is not None and len(self.records) > self.limit:
             self.records.pop(0)

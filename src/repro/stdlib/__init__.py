@@ -1,5 +1,14 @@
-"""Standard library modules (the paper's ``Timer`` and friends)."""
+"""Standard library modules (the paper's ``Timer`` and friends, plus the
+``Guarded`` resilience wrapper)."""
 
 from repro.stdlib.prelude import TIMER_SOURCE, prelude_table, timer_module
+from repro.stdlib.resilience import GUARDED_SOURCE, guarded_module, resilience_table
 
-__all__ = ["timer_module", "prelude_table", "TIMER_SOURCE"]
+__all__ = [
+    "timer_module",
+    "prelude_table",
+    "TIMER_SOURCE",
+    "guarded_module",
+    "resilience_table",
+    "GUARDED_SOURCE",
+]

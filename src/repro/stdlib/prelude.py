@@ -73,4 +73,8 @@ def ticker_module() -> Module:
 def prelude_table() -> ModuleTable:
     """A fresh module table pre-loaded with the standard modules; add your
     own modules to it and pass it to the machine/compiler."""
-    return ModuleTable([timer_module(), timeout_module(), ticker_module()])
+    from repro.stdlib.resilience import guarded_module
+
+    return ModuleTable(
+        [timer_module(), timeout_module(), ticker_module(), guarded_module()]
+    )

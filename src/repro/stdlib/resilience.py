@@ -1,0 +1,68 @@
+"""HipHop-level resilience: the ``Guarded`` wrapper module.
+
+The host combinators (:mod:`repro.host.resilience`) keep failures on the
+promise rejection path; ``Guarded`` lifts them the rest of the way into
+the synchronous world.  It races an asynchronous host operation against a
+timeout and converts every outcome into a *signal* — ``Done(value)``,
+``Error(reason)``, or ``Timeout`` — so the surrounding HipHop program
+orchestrates failure handling with ordinary ``await`` / ``abort`` logic
+and nothing ever raises across a reaction.
+
+Usage::
+
+    run Guarded(op=fetchThing, ms=2000, Done as got, Error as failed, ...)
+
+where ``op`` is a host binding: a zero-argument callable returning a
+promise-like (e.g. ``lambda: with_retry(loop, post)``).  The machine
+needs ``setTimeout``/``clearTimeout`` in its host globals
+(``loop.bindings()``), like every timer-using stdlib module.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.lang.ast import Module, ModuleTable
+from repro.syntax import parse_module
+
+#: Race ``op()`` against an ``ms``-millisecond timeout.  Exactly one of
+#: Done/Error/Timeout is emitted, in the instant the race is decided; the
+#: loser's async is killed, its late settlement discarded (stale
+#: generation).  The notify value is tagged ["ok"|"err", payload] because
+#: a completion signal carries one value but we must ship the branch too.
+GUARDED_SOURCE = """
+module Guarded(var op, var ms, out Done, out Timeout, out Error) {
+  signal outcome, elapsed;
+  T: fork {
+    async outcome {
+      this.resp = op();
+      this.resp.then(v => this.notify(["ok", v]));
+      this.resp.catch(e => this.notify(["err", e]))
+    };
+    if (outcome.nowval[0] == "ok") {
+      emit Done(outcome.nowval[1])
+    } else {
+      emit Error(outcome.nowval[1])
+    }
+    break T
+  } par {
+    async elapsed {
+      this.tmt = setTimeout(() => this.notify(true), ms)
+    } kill {
+      clearTimeout(this.tmt)
+    };
+    emit Timeout();
+    break T
+  }
+}
+"""
+
+
+@lru_cache(maxsize=None)
+def guarded_module() -> Module:
+    return parse_module(GUARDED_SOURCE)
+
+
+def resilience_table() -> ModuleTable:
+    """A fresh module table holding the resilience modules."""
+    return ModuleTable([guarded_module()])

@@ -32,12 +32,12 @@ functions, computed object keys and prefix ``++``/``--``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ParseError
 from repro.lang import ast as A
 from repro.lang import expr as E
-from repro.lang.signals import DIRECTIONS, IN, INOUT, LOCAL, OUT, SignalDecl, VarDecl
+from repro.lang.signals import IN, INOUT, LOCAL, OUT, SignalDecl, VarDecl
 from repro.syntax.lexer import tokenize
 from repro.syntax.tokens import EOF, NAME, NUMBER, PUNCT, STRING, STATEMENT_KEYWORDS, Token
 

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, List, Sequence, Set, Union
 
-from repro import CompileOptions, ReactiveMachine, parse_module, parse_program
-from repro.lang.ast import Module, ModuleTable
+from repro import ReactiveMachine, parse_program
 
 Inputs = Union[Dict[str, Any], Set[str], None]
 
@@ -14,7 +13,6 @@ def machine_for(source: str, **kwargs) -> ReactiveMachine:
     """Build a machine from a single-module source (or a program whose
     *last* module is the entry point)."""
     table = parse_program(source)
-    names = table.names()
     entry = kwargs.pop("entry", None)
     module = table.get(entry) if entry else list(table)[-1]
     return ReactiveMachine(module, modules=table, **kwargs)

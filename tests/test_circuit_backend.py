@@ -4,8 +4,8 @@ the optimizer, static cycle analysis, and the scheduler engine."""
 import pytest
 
 from repro import CompileOptions, compile_module, parse_module
-from repro.compiler.analysis import cycle_warnings, find_cycles
-from repro.compiler.netlist import ACTION, AND, EXPR, INPUT, OR, REG, Circuit, lit
+from repro.compiler.analysis import find_cycles
+from repro.compiler.netlist import ACTION, Circuit, lit
 from repro.compiler.optimize import optimize_circuit
 from repro.errors import CausalityError
 from repro.runtime.scheduler import Scheduler

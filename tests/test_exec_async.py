@@ -2,7 +2,7 @@
 kill cleanup, preemption discarding pending completions, suspension
 hooks, and the DSL's callable form."""
 
-from repro import ReactiveMachine, parse_module
+from repro import ReactiveMachine
 from repro.host import SimulatedLoop
 from repro.lang import dsl as hh
 from tests.helpers import machine_for

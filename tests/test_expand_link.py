@@ -3,9 +3,9 @@
 import pytest
 
 from repro import LinkError, parse_program, parse_statement, ReactiveMachine
-from repro.compiler.expand import expand_statement, expand_module
+from repro.compiler.expand import expand_statement
 from repro.lang import ast as A
-from repro.lang.validate import instant_codes, validate_statement
+from repro.lang.validate import instant_codes
 from repro.errors import InstantaneousLoopError, ValidationError
 from repro.lang.signals import SignalDecl
 from tests.helpers import check_trace, machine_for
@@ -94,7 +94,7 @@ class TestLinking:
         module B(out O) { run A(...) }
         """
         # parse order: B's run A resolves; A's run B is by name
-        table = parse_program(
+        parse_program(
             "module A(out O) { nothing }" + src.replace("module A(out O) { run B(...) }", "")
         )
         # direct self-recursion

@@ -1,0 +1,228 @@
+"""Fault injection: the :class:`ChaosLoop` harness and the application
+invariants that must survive it.
+
+Safety invariants (no stale grant, no double dispense) must hold under
+*any* chaotic schedule, including dropped soon-callbacks.  Liveness
+(reaching a terminal state) is only asserted on schedules that do not
+drop callbacks.
+"""
+
+import random
+
+from repro.apps.login import build_resilient_login_machine
+from repro.apps.pillbox.app import PillboxApp
+from repro.host import ChaosLoop, FlakyService, RetryPolicy, SimulatedLoop, with_retry
+
+ACCOUNTS = {"alice": "secret"}
+
+SEEDS = range(20)
+
+
+class TestChaosLoop:
+    def test_same_seed_same_schedule(self):
+        def run(seed):
+            loop = ChaosLoop(seed=seed, timer_slack_ms=20, duplicate_soon_rate=0.2)
+            fired = []
+            for i, delay in enumerate((10, 50, 50, 120, 300)):
+                loop.set_timeout(lambda i=i: fired.append((i, loop.now_ms)), delay)
+            loop.call_soon(lambda: fired.append(("soon", loop.now_ms)))
+            loop.run_until_idle()
+            return fired, dict(loop.chaos_stats)
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_slack_perturbs_order_within_bound(self):
+        loop = ChaosLoop(seed=1, timer_slack_ms=40)
+        fired = []
+        loop.set_timeout(lambda: fired.append("a"), 100)
+        loop.set_timeout(lambda: fired.append("b"), 110)
+        times = {}
+        loop.set_timeout(lambda: times.setdefault("t", loop.now_ms), 200)
+        loop.run_until_idle()
+        assert sorted(fired) == ["a", "b"]  # both fire exactly once
+        assert 160 <= times["t"] <= 240  # within +/- slack of nominal
+        assert loop.chaos_stats["jittered"] >= 1
+
+    def test_slack_never_goes_negative(self):
+        loop = ChaosLoop(seed=5, timer_slack_ms=1000)
+        fired = []
+        loop.set_timeout(lambda: fired.append(loop.now_ms), 1)
+        loop.run_until_idle()
+        assert fired and fired[0] >= 0
+
+    def test_interval_period_is_exact_after_phase_shift(self):
+        loop = ChaosLoop(seed=2, timer_slack_ms=30)
+        ticks = []
+        handle = loop.set_interval(lambda: ticks.append(loop.now_ms), 100)
+        loop.advance(1000)
+        handle.cancel()
+        loop.advance(1000)
+        n = len(ticks)
+        assert n >= 8  # phase shift may lose at most a tick in the window
+        deltas = {round(b - a, 6) for a, b in zip(ticks, ticks[1:])}
+        assert deltas == {100.0}  # period exact, only the phase moved
+        assert len(ticks) == n  # cancellation through the phased handle works
+
+    def test_drop_and_duplicate_soon(self):
+        loop = ChaosLoop(seed=9, drop_soon_rate=0.3, duplicate_soon_rate=0.3)
+        count = {"n": 0}
+        for _ in range(200):
+            loop.call_soon(lambda: count.__setitem__("n", count["n"] + 1))
+        loop.flush_soon()
+        stats = loop.chaos_stats
+        assert stats["dropped"] > 0 and stats["duplicated"] > 0
+        assert count["n"] == 200 - stats["dropped"] + stats["duplicated"]
+
+
+class TestLoginUnderChaos:
+    """The paper's key login property — a preempted authentication can
+    never grant — re-checked under adversarial schedules."""
+
+    def drive(self, seed, drop_soon_rate=0.0):
+        loop = ChaosLoop(
+            seed=seed,
+            timer_slack_ms=30,
+            duplicate_soon_rate=0.2,
+            drop_soon_rate=drop_soon_rate,
+        )
+        svc = FlakyService(
+            loop,
+            ACCOUNTS,
+            latency_ms=100,
+            latency_jitter_ms=80,
+            error_rate=0.3,
+            seed=seed,
+        )
+        machine = build_resilient_login_machine(
+            loop,
+            svc,
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay_ms=50, jitter_ms=20, rng=random.Random(seed)
+            ),
+            timeout_ms=1000,
+        )
+        machine.react({})
+        states = []
+        preempted = {"flag": False}
+        machine.add_listener(
+            "connState", lambda v: states.append((preempted["flag"], v))
+        )
+
+        # a correct-password login...
+        machine.react({"name": "alice", "passwd": "secret"})
+        machine.react({"login": True})
+        loop.advance(40)  # ...whose (retried) request is still in flight...
+        machine.react({"passwd": "wrong"})
+        preempted["flag"] = True
+        machine.react({"login": True})  # ...preempted by a wrong-password one
+        loop.run_until_idle(60_000)
+        return machine, states
+
+    def test_no_stale_grant_20_seeds(self):
+        for seed in SEEDS:
+            _machine, states = self.drive(seed)
+            after = [v for flag, v in states if flag]
+            assert "connected" not in after, f"stale grant with seed {seed}"
+
+    def test_terminal_state_reached_20_seeds(self):
+        # liveness: without dropped callbacks every schedule must end in
+        # the wrong-password terminal state, never stuck "connecting"
+        for seed in SEEDS:
+            machine, states = self.drive(seed)
+            assert machine.connState.nowval == "error", f"seed {seed}: {states}"
+
+    def test_safety_survives_dropped_callbacks(self):
+        # with drops, liveness is forfeit (a notify may vanish) but the
+        # no-stale-grant invariant must still hold
+        for seed in SEEDS:
+            machine, states = self.drive(seed, drop_soon_rate=0.25)
+            after = [v for flag, v in states if flag]
+            assert "connected" not in after, f"stale grant with seed {seed}"
+            assert machine.connState.nowval in ("connecting", "error")
+
+    def test_chaotic_schedule_is_reproducible(self):
+        for seed in (0, 7, 13):
+            first = self.drive(seed)[1]
+            second = self.drive(seed)[1]
+            assert first == second
+
+
+class TestPillboxUnderChaos:
+    """The dispenser's safety rule — never two doses closer than the
+    prescription's minimum interval — under chaotic button mashing."""
+
+    def drive(self, seed):
+        # One loop millisecond is one pillbox minute; presses land at
+        # chaotic times (timer slack reorders them against the clock).
+        loop = ChaosLoop(seed=seed, timer_slack_ms=40)
+        app = PillboxApp()
+        schedule_rng = random.Random(seed)
+
+        loop.set_interval(lambda: app.tick(1), 1)
+        for _ in range(120):
+            at = schedule_rng.uniform(0, 4 * 24 * 60)  # four days of mashing
+            press = app.press_try if schedule_rng.random() < 0.6 else app.press_conf
+            loop.set_timeout(press, at)
+        loop.advance(4 * 24 * 60)
+        return app
+
+    def test_never_double_dispenses_20_seeds(self):
+        interval = None
+        for seed in SEEDS:
+            app = self.drive(seed)
+            interval = app.prescription.min_dose_interval
+            deliveries = [t for t, _ in app.events("DeliverDose")]
+            gaps = [b - a for a, b in zip(deliveries, deliveries[1:])]
+            assert all(g >= interval for g in gaps), f"seed {seed}: {deliveries}"
+        assert interval == 8 * 60
+
+    def test_some_seed_actually_dispenses(self):
+        # the harness must exercise the dispense path, not vacuously pass
+        assert any(self.drive(seed).events("DeliverDose") for seed in SEEDS)
+
+
+class TestRetryUnderChaos:
+    def test_retry_converges_deterministically_under_chaos(self):
+        # acceptance: with_retry over a 50% flaky service converges to the
+        # same outcome on every rerun of the same seed, chaos included
+        def run(seed):
+            loop = ChaosLoop(seed=seed, timer_slack_ms=15, duplicate_soon_rate=0.2)
+            svc = FlakyService(
+                loop, ACCOUNTS, latency_ms=20, error_rate=0.5, seed=seed
+            )
+            policy = RetryPolicy(
+                max_attempts=12, base_delay_ms=20, jitter_ms=10, rng=random.Random(seed)
+            )
+            outcome = []
+            with_retry(loop, lambda: svc.post("alice", "secret"), policy).then(
+                lambda v: outcome.append(("ok", v))
+            ).catch(lambda e: outcome.append(("err", type(e).__name__)))
+            loop.run_until_idle()
+            return outcome, svc.stats["requests"], loop.now_ms
+
+        converged = 0
+        for seed in SEEDS:
+            first, second = run(seed), run(seed)
+            assert first == second, f"seed {seed} not deterministic"
+            if first[0] and first[0][0][0] == "ok":
+                converged += 1
+        assert converged >= 15  # 0.5^12 residual failure odds per seed
+
+    def test_chaos_and_plain_loops_share_flaky_schedule(self):
+        # FlakyService draws come from its own rng, so the *fault* schedule
+        # is identical across loop types; only timing differs
+        def outcomes(loop_factory):
+            loop = loop_factory()
+            svc = FlakyService(loop, ACCOUNTS, latency_ms=20, error_rate=0.5, seed=3)
+            results = []
+            for _ in range(10):
+                svc.post("alice", "secret").then(
+                    lambda v: results.append("ok")
+                ).catch(lambda e: results.append("err"))
+                loop.advance(500)
+            return results
+
+        assert outcomes(SimulatedLoop) == outcomes(
+            lambda: ChaosLoop(seed=99, timer_slack_ms=25)
+        )

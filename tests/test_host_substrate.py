@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dom import Document, Element, ReactNode
+from repro.dom import Document
 from repro.host import AuthService, SimulatedLoop
 
 
@@ -85,6 +85,92 @@ class TestSimulatedLoop:
         bindings["clearInterval"](handle)
         loop.advance(500)
         assert len(fired) == 2
+
+    def test_cancel_inside_firing_callback(self):
+        # a callback firing at time t may cancel another timer already due
+        # at t; the cancelled one must not run
+        loop = SimulatedLoop()
+        fired = []
+        handles = {}
+
+        def first():
+            fired.append("first")
+            handles["second"].cancel()
+
+        loop.set_timeout(first, 100)
+        handles["second"] = loop.set_timeout(lambda: fired.append("second"), 100)
+        loop.advance(200)
+        assert fired == ["first"]
+
+    def test_interval_survives_callback_exception(self):
+        # the interval is re-armed before the callback runs, so one bad
+        # tick doesn't silently kill the metronome
+        loop = SimulatedLoop()
+        ticks = []
+
+        def tick():
+            ticks.append(loop.now_ms)
+            if len(ticks) == 2:
+                raise RuntimeError("one bad tick")
+
+        loop.set_interval(tick, 100)
+        with pytest.raises(RuntimeError):
+            loop.advance(1000)
+        loop.advance(1000)  # keep going: interval still armed
+        assert len(ticks) >= 4
+
+    def test_run_until_idle_bounds_self_rearming_chain(self):
+        # a timeout that always re-arms itself must not livelock
+        # run_until_idle: the deadline is fixed at entry, not slid forward
+        loop = SimulatedLoop()
+        count = {"n": 0}
+
+        def rearm():
+            count["n"] += 1
+            loop.set_timeout(rearm, 100)
+
+        loop.set_timeout(rearm, 100)
+        loop.run_until_idle(max_ms=10_000)
+        assert count["n"] == 100
+        assert loop.now_ms <= 10_000
+
+
+class TestAsyncioLoop:
+    def test_requires_running_loop_without_explicit_one(self):
+        from repro.host import AsyncioLoop
+
+        with pytest.raises(RuntimeError, match="no running asyncio event loop"):
+            AsyncioLoop()
+
+    def test_explicit_loop_and_bindings(self):
+        import asyncio
+
+        from repro.host import AsyncioLoop
+
+        aio = asyncio.new_event_loop()
+        try:
+            adapter = AsyncioLoop(aio)
+            bindings = adapter.bindings()
+            assert {"setTimeout", "clearTimeout", "setInterval",
+                    "clearInterval", "now"} <= set(bindings)
+            assert adapter.now_ms == pytest.approx(aio.time() * 1000.0)
+        finally:
+            aio.close()
+
+    def test_constructs_inside_running_loop(self):
+        import asyncio
+
+        from repro.host import AsyncioLoop
+
+        async def make():
+            adapter = AsyncioLoop()
+            fired = []
+            adapter.call_soon(lambda: fired.append(adapter.bindings()["now"]()))
+            await asyncio.sleep(0)
+            return fired
+
+        fired = asyncio.run(make())
+        assert len(fired) == 1 and fired[0] >= 0
 
 
 class TestAuthService:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ParseError
 from repro.syntax.lexer import tokenize
-from repro.syntax.tokens import EOF, NAME, NUMBER, PUNCT, STRING
+from repro.syntax.tokens import EOF, NAME
 
 
 def kinds(source):

@@ -1,7 +1,6 @@
 """Every HipHop listing in the paper, parsed (near-)verbatim and
 exercised at least once.  This pins the surface syntax to the paper."""
 
-import pytest
 
 from repro import ReactiveMachine, compile_module, parse_module, parse_program
 from repro.apps.login.hiphop import LOGIN_PROGRAM, login_table

@@ -1,9 +1,8 @@
 """The Lisinopril pillbox (paper section 4.1): every rule of the
 rigorous prescription, plus logging and the Reset extension."""
 
-import pytest
 
-from repro.apps.pillbox import DEFAULT_PRESCRIPTION, PillboxApp, Prescription
+from repro.apps.pillbox import PillboxApp, Prescription
 
 RX = Prescription()  # paper defaults: 8PM-11PM, 8h/34h walls, 30h alarm
 

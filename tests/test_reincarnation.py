@@ -7,10 +7,9 @@ instant and must not be confused.  The compiler duplicates such loop
 bodies; these tests pin the observable semantics and the ablation flag.
 """
 
-import pytest
 
 from repro import CompileOptions, parse_module, ReactiveMachine
-from tests.helpers import check_trace, machine_for, presence_trace
+from tests.helpers import check_trace, presence_trace
 
 
 class TestLocalSignalReincarnation:
@@ -124,7 +123,6 @@ class TestDuplicationPolicy:
         for depth in range(3):
             module = parse_module(nested(depth))
             sizes.append(ReactiveMachine(module).stats()["nets"])
-        growth1 = sizes[1] / sizes[0]
         growth2 = sizes[2] / sizes[1]
         assert growth2 > 1.5, f"expected super-linear growth, got {sizes}"
 

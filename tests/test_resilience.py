@@ -1,0 +1,468 @@
+"""The fault-tolerant async boundary: failure-aware services, supervision
+combinators, exec supervision and machine health, and the HipHop-level
+``Guarded`` wrapper."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    MachineError,
+    RetryExhaustedError,
+    ServiceFailure,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
+from repro.host import (
+    AuthService,
+    CircuitBreaker,
+    FlakyService,
+    RetryPolicy,
+    ServiceResponse,
+    SimulatedLoop,
+    with_retry,
+    with_timeout,
+)
+from repro.lang import dsl as hh
+from repro.runtime import ReactiveMachine
+from repro.runtime.tracing import Tracer
+from repro.stdlib.resilience import guarded_module, resilience_table
+
+
+class TestServiceResponseRejection:
+    def test_catch_fires_on_rejection(self):
+        loop = SimulatedLoop()
+        response = ServiceResponse(loop)
+        errors, values = [], []
+        response.then(values.append).catch(errors.append)
+        response.reject(ServiceFailure("boom"))
+        loop.flush_soon()
+        assert values == [] and len(errors) == 1
+
+    def test_value_fn_exception_rejects(self):
+        loop = SimulatedLoop()
+
+        def explode():
+            raise ServiceFailure("dead service")
+
+        errors = []
+        ServiceResponse(loop, explode, 10).catch(errors.append)
+        loop.advance(20)
+        assert isinstance(errors[0], ServiceFailure)
+
+    def test_timeout_rejects_with_service_timeout(self):
+        loop = SimulatedLoop()
+        errors = []
+        ServiceResponse(loop, timeout_ms=100).catch(errors.append)
+        loop.advance(150)
+        assert isinstance(errors[0], ServiceTimeout)
+
+    def test_settle_once_reply_beats_timeout(self):
+        loop = SimulatedLoop()
+        response = ServiceResponse(loop, lambda: 42, 50, timeout_ms=100)
+        got, errors = [], []
+        response.then(got.append).catch(errors.append)
+        loop.advance(200)
+        assert got == [42] and errors == []
+
+    def test_settle_once_late_reply_after_timeout_dropped(self):
+        loop = SimulatedLoop()
+        response = ServiceResponse(loop, lambda: 42, 150, timeout_ms=100)
+        got, errors = [], []
+        response.then(got.append).catch(errors.append)
+        loop.advance(300)
+        assert got == [] and isinstance(errors[0], ServiceTimeout)
+
+    def test_uniform_delivery_ordering(self):
+        # Satellite regression: callbacks registered before completion and
+        # after completion follow the same asynchronous discipline — both
+        # run via call_soon, in registration order, never synchronously
+        # inside then()/the settling timer.
+        loop = SimulatedLoop()
+        svc = AuthService(loop, {"u": "p"}, latency_ms=10)
+        response = svc.post("u", "p")
+        order = []
+        response.then(lambda v: order.append("pre1"))
+        response.then(lambda v: order.append("pre2"))
+        loop.advance(20)
+        assert order == ["pre1", "pre2"]
+        response.then(lambda v: order.append("post"))
+        assert order == ["pre1", "pre2"]  # not synchronous at registration
+        loop.flush_soon()
+        assert order == ["pre1", "pre2", "post"]
+
+    def test_callbacks_never_run_inside_settling_timer(self):
+        loop = SimulatedLoop()
+        depth_markers = []
+        response = ServiceResponse(loop, lambda: depth_markers.append("settle") or 1, 10)
+        response.then(lambda v: depth_markers.append("deliver"))
+        # fire only the timer, not the soon-queue: delivery must be queued
+        loop.advance(10)
+        assert depth_markers == ["settle", "deliver"]  # flushed by advance
+        # and within one flush, settle strictly precedes deliver (asynchrony)
+
+
+class TestFlakyService:
+    def test_seeded_schedule_is_reproducible(self):
+        def run(seed):
+            loop = SimulatedLoop()
+            svc = FlakyService(
+                loop, {"u": "p"}, latency_ms=50,
+                error_rate=0.3, latency_jitter_ms=40, seed=seed,
+            )
+            outcomes = []
+            for _ in range(10):
+                svc.post("u", "p").then(lambda v: outcomes.append(("ok", v))).catch(
+                    lambda e: outcomes.append(("err", type(e).__name__))
+                )
+                loop.advance(200)
+            return outcomes, [entry[0] for entry in svc.log]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)  # different seed, different schedule
+
+    def test_outage_window_rejects_unavailable(self):
+        loop = SimulatedLoop()
+        svc = FlakyService(loop, {"u": "p"}, latency_ms=10, outage_windows=((0, 100),))
+        errors, got = [], []
+        svc.post("u", "p").catch(errors.append)
+        loop.advance(50)
+        assert isinstance(errors[0], ServiceUnavailable)
+        loop.advance(100)  # now past the window
+        svc.post("u", "p").then(got.append)
+        loop.advance(50)
+        assert got == [True]
+
+    def test_hang_never_settles_without_timeout(self):
+        loop = SimulatedLoop()
+        svc = FlakyService(loop, {"u": "p"}, latency_ms=10, hang_rate=1.0)
+        seen = []
+        svc.post("u", "p").then(seen.append).catch(seen.append)
+        loop.advance(10_000)
+        assert seen == [] and svc.stats["hangs"] == 1
+
+    def test_hang_with_timeout_rejects(self):
+        loop = SimulatedLoop()
+        svc = FlakyService(loop, {"u": "p"}, latency_ms=10, hang_rate=1.0, timeout_ms=500)
+        errors = []
+        svc.post("u", "p").catch(errors.append)
+        loop.advance(1000)
+        assert isinstance(errors[0], ServiceTimeout)
+
+
+class TestCombinators:
+    def test_with_timeout_passes_fast_reply(self):
+        loop = SimulatedLoop()
+        svc = AuthService(loop, {"u": "p"}, latency_ms=50)
+        got = []
+        with_timeout(loop, svc.post("u", "p"), 200).then(got.append)
+        loop.advance(100)
+        assert got == [True]
+
+    def test_with_timeout_rejects_slow_reply(self):
+        loop = SimulatedLoop()
+        svc = AuthService(loop, {"u": "p"}, latency_ms=500)
+        errors = []
+        with_timeout(loop, svc.post("u", "p"), 200).catch(errors.append)
+        loop.advance(1000)
+        assert isinstance(errors[0], ServiceTimeout)
+
+    def test_retry_backoff_schedule_is_exponential(self):
+        loop = SimulatedLoop()
+        svc = FlakyService(loop, {"u": "p"}, latency_ms=10, error_rate=1.0)
+        policy = RetryPolicy(max_attempts=4, base_delay_ms=100, factor=2.0)
+        attempt_times = []
+        original_post = svc.post
+
+        def logging_post(name, passwd):
+            attempt_times.append(loop.now_ms)
+            return original_post(name, passwd)
+
+        svc.post = logging_post
+        errors = []
+        with_retry(loop, lambda: svc.post("u", "p"), policy).catch(errors.append)
+        loop.run_until_idle()
+        # attempts at 0; fail@10 +100; fail@120 +200; fail@330 +400
+        assert attempt_times == [0.0, 110.0, 320.0, 730.0]
+        assert isinstance(errors[0], RetryExhaustedError)
+        assert errors[0].attempts == 4
+        assert all(isinstance(e, ServiceFailure) for e in errors[0].errors)
+
+    def test_retry_converges_deterministically_on_flaky_service(self):
+        # acceptance: error_rate=0.5 converges, same seed -> same schedule
+        def run(seed):
+            loop = SimulatedLoop()
+            svc = FlakyService(loop, {"u": "p"}, latency_ms=20, error_rate=0.5, seed=seed)
+            policy = RetryPolicy(
+                max_attempts=12, base_delay_ms=20, jitter_ms=10, rng=random.Random(seed)
+            )
+            outcome = []
+            with_retry(loop, lambda: svc.post("u", "p"), policy).then(
+                lambda v: outcome.append(("ok", v))
+            ).catch(lambda e: outcome.append(("err", e)))
+            loop.run_until_idle()
+            return outcome, svc.stats["requests"], loop.now_ms
+
+        for seed in range(20):
+            first, second = run(seed), run(seed)
+            assert first[1:] == second[1:]
+            assert [o[0] for o in first[0]] == [o[0] for o in second[0]]
+            assert first[0][0][0] == "ok", f"seed {seed} did not converge"
+
+    def test_retry_per_attempt_timeout_unsticks_hangs(self):
+        loop = SimulatedLoop()
+        # first request hangs, later ones succeed
+        svc = FlakyService(loop, {"u": "p"}, latency_ms=20, hang_rate=0.5, seed=1)
+        got = []
+        with_retry(
+            loop,
+            lambda: svc.post("u", "p"),
+            RetryPolicy(max_attempts=6, base_delay_ms=50),
+            timeout_ms=200,
+        ).then(got.append)
+        loop.run_until_idle()
+        assert got == [True]
+
+    def test_circuit_breaker_open_half_open_closed(self):
+        loop = SimulatedLoop()
+        svc = FlakyService(loop, {"u": "p"}, latency_ms=10, error_rate=1.0)
+        breaker = CircuitBreaker(loop, failure_threshold=3, cooldown_ms=1000, name="auth")
+        rejections = []
+        for _ in range(5):
+            breaker.call(lambda: svc.post("u", "p")).catch(
+                lambda e: rejections.append(type(e).__name__)
+            )
+            loop.advance(50)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert rejections.count("CircuitOpenError") == 2  # calls 4 and 5 shed
+        assert svc.stats["requests"] == 3  # no load while open
+
+        loop.advance(1000)  # cooldown elapses
+        svc.error_rate = 0.0
+        got = []
+        probe = breaker.call(lambda: svc.post("u", "p"))
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        probe.then(got.append)
+        loop.advance(50)
+        assert got == [True] and breaker.state == CircuitBreaker.CLOSED
+
+    def test_circuit_breaker_half_open_failure_reopens(self):
+        loop = SimulatedLoop()
+        svc = FlakyService(loop, {"u": "p"}, latency_ms=10, error_rate=1.0)
+        breaker = CircuitBreaker(loop, failure_threshold=1, cooldown_ms=100)
+        breaker.call(lambda: svc.post("u", "p")).catch(lambda e: None)
+        loop.advance(50)
+        assert breaker.state == CircuitBreaker.OPEN
+        loop.advance(100)
+        breaker.call(lambda: svc.post("u", "p")).catch(lambda e: None)
+        loop.advance(50)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.stats["opens"] == 2
+
+    def test_half_open_sheds_excess_probes(self):
+        loop = SimulatedLoop()
+        svc = FlakyService(loop, {"u": "p"}, latency_ms=100, error_rate=1.0)
+        breaker = CircuitBreaker(loop, failure_threshold=1, cooldown_ms=100, half_open_probes=1)
+        breaker.call(lambda: svc.post("u", "p")).catch(lambda e: None)
+        loop.advance(200)
+        shed = []
+        breaker.call(lambda: svc.post("u", "p"))  # probe in flight
+        breaker.call(lambda: svc.post("u", "p")).catch(lambda e: shed.append(e))
+        loop.flush_soon()
+        assert isinstance(shed[0], CircuitOpenError)
+
+
+class TestExecSupervision:
+    def _failing_module(self):
+        def bad_start(ctx):
+            raise RuntimeError("host action exploded")
+
+        return hh.module(
+            "M", "in go, inout AuthError, out done",
+            hh.every(hh.sig("go"), hh.exec_(bad_start, signal="done")),
+        )
+
+    def test_default_policy_raises_and_records(self):
+        machine = ReactiveMachine(self._failing_module())
+        machine.react({})
+        with pytest.raises(RuntimeError):
+            machine.react({"go": True})
+        health = machine.health
+        assert health["exec_failures"] == 1
+        assert health["failed_reactions"] == 1
+        failure = machine.exec_state(0).last_error
+        assert failure.phase == "start"
+        assert isinstance(failure.error, RuntimeError)
+
+    def test_callback_policy_swallows_and_reports(self):
+        failures = []
+        machine = ReactiveMachine(self._failing_module(), on_exec_error=failures.append)
+        machine.react({})
+        machine.react({"go": True})  # does not raise
+        assert len(failures) == 1 and failures[0].slot == 0
+        assert machine.health["exec_failures"] == 1
+        assert machine.health["failed_reactions"] == 0
+
+    def test_signal_policy_turns_error_into_input(self):
+        machine = ReactiveMachine(self._failing_module(), on_exec_error="signal:AuthError")
+        machine.react({})
+        seen = []
+        machine.add_listener("AuthError", seen.append)
+        machine.react({"go": True})  # queues the error reaction; served after
+        assert len(seen) == 1 and isinstance(seen[0], RuntimeError)
+
+    def test_signal_policy_unknown_signal_is_machine_error(self):
+        def bad_start(ctx):
+            raise RuntimeError("boom")
+
+        module = hh.module(
+            "M", "in go, out done",
+            hh.every(hh.sig("go"), hh.exec_(bad_start, signal="done")),
+        )
+        machine = ReactiveMachine(module, on_exec_error="signal:NoSuchSignal")
+        machine.react({})
+        with pytest.raises(MachineError):
+            machine.react({"go": True})
+
+    def test_kill_action_failure_supervised(self):
+        failures = []
+
+        def bad_kill(ctx):
+            raise ValueError("kill handler broke")
+
+        module = hh.module(
+            "M", "in go, in stop, out done",
+            hh.every(
+                hh.sig("go"),
+                hh.abort(hh.sig("stop"), hh.exec_(lambda ctx: None, signal="done", kill=bad_kill)),
+            ),
+        )
+        machine = ReactiveMachine(module, on_exec_error=failures.append)
+        machine.react({})
+        machine.react({"go": True})
+        machine.react({"stop": True})
+        assert failures[0].phase == "kill"
+
+    def test_restart_clears_last_error_per_slot(self):
+        calls = {"n": 0}
+
+        def flaky_start(ctx):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("only the first start fails")
+
+        module = hh.module(
+            "M", "in go, out done",
+            hh.every(hh.sig("go"), hh.exec_(flaky_start, signal="done")),
+        )
+        machine = ReactiveMachine(module, on_exec_error=lambda f: None)
+        machine.react({})
+        machine.react({"go": True})
+        assert machine.exec_state(0).last_error is not None
+        machine.react({"go": True})  # every restarts the body (new invocation)
+        # the failed slot keeps its record for post-mortems; the invocation
+        # now running started clean
+        assert machine.exec_state(0).last_error is not None
+        running = [s for s in (machine.exec_state(i) for i in range(2)) if s.running]
+        assert running and all(s.last_error is None for s in running)
+        assert machine.health["exec_failures"] == 1
+
+    def test_reset_zeroes_health(self):
+        machine = ReactiveMachine(self._failing_module(), on_exec_error=lambda f: None)
+        machine.react({})
+        machine.react({"go": True})
+        assert machine.health["exec_failures"] == 1
+        machine.reset()
+        health = machine.health
+        assert health["exec_failures"] == 0 and health["reactions"] == 0
+
+
+class TestHealthAndTracing:
+    def test_breaker_state_in_health(self):
+        loop = SimulatedLoop()
+        svc = FlakyService(loop, {"u": "p"}, latency_ms=10, error_rate=1.0)
+        module = hh.module("M", "in go, out done", hh.await_(hh.sig("go")))
+        machine = ReactiveMachine(module)
+        breaker = machine.register_breaker(
+            CircuitBreaker(loop, failure_threshold=1, name="auth")
+        )
+        breaker.call(lambda: svc.post("u", "p")).catch(lambda e: None)
+        loop.advance(50)
+        assert machine.health["breakers"]["auth"]["state"] == CircuitBreaker.OPEN
+
+    def test_tracer_records_health_per_reaction(self):
+        failures = []
+
+        def bad_start(ctx):
+            raise RuntimeError("boom")
+
+        module = hh.module(
+            "M", "in go, out done",
+            hh.every(hh.sig("go"), hh.exec_(bad_start, signal="done")),
+        )
+        machine = ReactiveMachine(module, on_exec_error=failures.append)
+        tracer = Tracer(machine)
+        machine.react({})
+        machine.react({"go": True})
+        assert tracer.records[0].health["exec_failures"] == 0
+        assert tracer.records[1].health["exec_failures"] == 1
+
+
+class TestGuardedModule:
+    def _machine(self, loop, op, ms):
+        machine = ReactiveMachine(
+            guarded_module(),
+            modules=resilience_table(),
+            host_globals={"op": op, "ms": ms, **loop.bindings()},
+        )
+        machine.attach_loop(loop)
+        machine.react({})
+        return machine
+
+    def test_done_on_success(self):
+        loop = SimulatedLoop()
+        svc = AuthService(loop, {"u": "p"}, latency_ms=50)
+        machine = self._machine(loop, lambda: svc.post("u", "p"), 500)
+        loop.advance(100)
+        assert machine.Done.now and machine.Done.nowval is True
+        assert not machine.Timeout.now and not machine.Error.now
+        assert machine.terminated
+
+    def test_error_signal_instead_of_raise(self):
+        loop = SimulatedLoop()
+        svc = FlakyService(loop, {"u": "p"}, latency_ms=50, error_rate=1.0)
+        machine = self._machine(loop, lambda: svc.post("u", "p"), 500)
+        loop.advance(100)
+        assert machine.Error.now and isinstance(machine.Error.nowval, ServiceFailure)
+        assert not machine.Done.now
+
+    def test_timeout_signal_on_hang(self):
+        loop = SimulatedLoop()
+        svc = FlakyService(loop, {"u": "p"}, latency_ms=50, hang_rate=1.0)
+        machine = self._machine(loop, lambda: svc.post("u", "p"), 300)
+        loop.advance(400)
+        assert machine.Timeout.now
+        assert not machine.Done.now and not machine.Error.now
+
+    def test_late_reply_after_timeout_discarded(self):
+        loop = SimulatedLoop()
+        svc = AuthService(loop, {"u": "p"}, latency_ms=1000)
+        machine = self._machine(loop, lambda: svc.post("u", "p"), 200)
+        loop.advance(2000)  # reply arrives long after the timeout won
+        assert machine.Timeout.now and not machine.Done.now
+
+    def test_guarded_composes_with_retry(self):
+        loop = SimulatedLoop()
+        svc = FlakyService(loop, {"u": "p"}, latency_ms=30, error_rate=0.5, seed=4)
+        policy = RetryPolicy(max_attempts=8, base_delay_ms=20, rng=random.Random(4))
+        machine = self._machine(
+            loop, lambda: with_retry(loop, lambda: svc.post("u", "p"), policy), 5000
+        )
+        loop.run_until_idle()
+        assert machine.Done.now and machine.Done.nowval is True
+
+    def test_guarded_available_in_prelude(self):
+        from repro.stdlib import prelude_table
+
+        assert prelude_table().get("Guarded") is guarded_module()

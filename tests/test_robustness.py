@@ -3,7 +3,7 @@ misuse, service outages, and hostile input values."""
 
 import pytest
 
-from repro import MachineError, ReactiveMachine, parse_module
+from repro import MachineError, ReactiveMachine
 from repro.lang import dsl as hh
 from repro.lang.expr import EvalError
 from repro.host import AuthService, SimulatedLoop

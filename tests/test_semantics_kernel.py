@@ -7,7 +7,7 @@ and the boot protocol.
 
 import pytest
 
-from repro import CausalityError, ReactiveMachine, parse_module
+from repro import CausalityError
 from tests.helpers import check_trace, machine_for, presence_trace
 
 

@@ -4,7 +4,7 @@ HipHop's key additions over plain event-driven code."""
 
 import pytest
 
-from repro import CausalityError, parse_module, ReactiveMachine
+from repro import CausalityError
 from tests.helpers import check_trace, machine_for, presence_trace
 
 

@@ -3,7 +3,7 @@ including as hypothesis properties over random input traces."""
 
 from hypothesis import given, settings, strategies as st
 
-from repro import MultipleEmitError, ReactiveMachine
+from repro import MultipleEmitError
 from repro.runtime.signal import RuntimeSignal, SignalView
 from tests.helpers import machine_for
 

@@ -5,17 +5,11 @@ import pytest
 
 from repro import compile_module
 from repro.apps.skini import (
-    Activate,
     Audience,
-    AwaitSelections,
-    Fork,
     Group,
     Pattern,
     Performance,
-    RunTank,
     Score,
-    Section,
-    Sequence,
     Synthesizer,
     Tank,
     generate_score_module,

@@ -1,8 +1,7 @@
 """Tooling: the reaction tracer and the GraphViz circuit exporter."""
 
-import pytest
 
-from repro import CausalityError, ReactiveMachine, parse_module
+from repro import CausalityError
 from repro.compiler.dotgraph import circuit_to_dot, statement_to_dot
 from repro.runtime.tracing import Tracer
 from tests.helpers import machine_for

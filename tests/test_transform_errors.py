@@ -13,7 +13,6 @@ from repro.errors import (
     ValidationError,
 )
 from repro.lang import ast as A
-from repro.lang import expr as E
 from repro.lang.transform import rename_vars_expr, rename_vars_host, rename_vars_stmt
 from repro.syntax import parse_expression, parse_statement
 

@@ -3,7 +3,7 @@ multiple-emission errors, and same-instant write-before-read ordering."""
 
 import pytest
 
-from repro import MultipleEmitError, ReactiveMachine, parse_module
+from repro import MultipleEmitError
 from tests.helpers import machine_for, run_trace
 
 
