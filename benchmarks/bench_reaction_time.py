@@ -1,8 +1,13 @@
 """E6 — reaction time is ≈ linear in circuit size, and even the largest
 Skini score reacts far inside the 300 ms musical pulse (paper §5.3: "the
-HipHop.js reaction time never exceeds 15ms")."""
+HipHop.js reaction time never exceeds 15ms").  Both reaction backends
+are measured; the levelized plan must beat the worklist by ≥2× on the
+largest steady-state Skini workload (see docs/performance.md), and the
+per-backend medians are recorded in BENCH_reaction.json."""
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
@@ -11,11 +16,14 @@ from repro.apps.skini import Audience, Performance, make_large_score
 from workloads import compiled_machine, drive_steady_state, fit_slope
 
 SIZES = (2, 8, 32, 64)
+BACKENDS = ("worklist", "levelized")
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_reaction.json"
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("units", SIZES)
-def test_reaction(benchmark, units):
-    machine = compiled_machine(units)
+def test_reaction(benchmark, units, backend):
+    machine = compiled_machine(units, backend=backend)
     inputs = drive_steady_state(machine)
     benchmark(lambda: machine.react(inputs))
 
@@ -62,3 +70,44 @@ def test_live_performance_latency_distribution():
     perf.run(120)
     assert perf.reaction_times_ms, "performance produced no reactions"
     assert perf.max_reaction_ms() < 300.0
+
+
+def test_levelized_speedup_on_largest_score():
+    """The tentpole claim: on the largest steady-state Skini workload the
+    levelized straight-line backend reacts ≥2× faster (median) than the
+    worklist.  The per-backend medians land in BENCH_reaction.json for
+    machine consumption (CI trend lines, the performance doc)."""
+    score = make_large_score(sections=60, groups_per_section=5, patterns_per_group=6)
+    inputs = {"seconds": 1, "second": True}
+    medians = {}
+    stats = {}
+    for backend in BACKENDS:
+        perf = Performance(score, Audience(size=0), backend=backend)
+        assert perf.machine.backend == backend
+        perf.step()
+        # settle into steady state before sampling
+        _median_reaction_ms(perf.machine, inputs, rounds=10)
+        medians[backend] = _median_reaction_ms(perf.machine, inputs, rounds=40)
+        stats[backend] = dict(perf.machine.stats())
+
+    speedup = medians["worklist"] / medians["levelized"]
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "workload": "skini-large-score-steady-state",
+                "sections": 60,
+                "groups_per_section": 5,
+                "patterns_per_group": 6,
+                "circuit": stats["levelized"],
+                "median_reaction_ms": medians,
+                "speedup": round(speedup, 2),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert speedup >= 2.0, (
+        f"levelized backend only {speedup:.2f}x faster "
+        f"(worklist {medians['worklist']:.3f} ms, "
+        f"levelized {medians['levelized']:.3f} ms)"
+    )

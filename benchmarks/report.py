@@ -1,16 +1,29 @@
 #!/usr/bin/env python
 """Regenerate the EXPERIMENTS.md numbers: one row per §5.3 claim.
 
-    python benchmarks/report.py
+    python benchmarks/report.py [--quick]
+
+``--quick`` runs a reduced-size sweep (smaller score, fewer rounds) so
+CI can smoke the whole report in seconds.  Either mode writes the
+machine-readable per-backend reaction medians to BENCH_reaction.json.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
+
+#: full-size vs --quick sweep parameters
+FULL = dict(linear_sizes=(2, 8, 32, 64), score_sections=60, rounds=20)
+QUICK = dict(linear_sizes=(2, 8), score_sections=8, rounds=5)
+PROFILE = dict(FULL)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_reaction.json"
 
 from workloads import (  # noqa: E402
     compiled_machine,
@@ -40,7 +53,7 @@ def median_ms(fn, rounds=20):
 def e1_e2():
     print("E1/E2 - compile time and circuit size vs source size")
     rows = []
-    for units in (4, 8, 16, 32, 64):
+    for units in PROFILE["linear_sizes"]:
         module = linear_module(units)
         stmts = statement_count(module)
         t = median_ms(lambda: compile_module(module), rounds=3)
@@ -73,7 +86,11 @@ def e4_e5():
 
     print("\nE5 - large Skini score (paper: ~10,000 nets, ~2.1 MB)")
     module, mtable = generate_score_module(
-        make_large_score(sections=60, groups_per_section=5, patterns_per_group=6)
+        make_large_score(
+            sections=PROFILE["score_sections"],
+            groups_per_section=5,
+            patterns_per_group=6,
+        )
     )
     circuit = compile_module(module, mtable).circuit
     nets = circuit.stats()["nets"]
@@ -83,24 +100,58 @@ def e4_e5():
 
 def e6():
     print("\nE6 - reaction time vs circuit size (paper: linear; <=15ms for the"
-          " largest score vs a 300ms pulse)")
-    nets, times = [], []
-    for units in (2, 8, 32, 64):
-        machine = compiled_machine(units)
-        inputs = drive_steady_state(machine)
-        t = median_ms(lambda: machine.react(inputs))
-        nets.append(machine.stats()["nets"])
-        times.append(t)
-        print(f"  {machine.stats()['nets']:>6} nets: {t:7.3f} ms/reaction")
-    _s, corr = fit_slope(nets, times)
-    print(f"  linear fit corr={corr:.4f}")
+          " largest score vs a 300ms pulse); both backends, see "
+          "docs/performance.md")
+    rounds = PROFILE["rounds"]
+    for backend in ("worklist", "levelized"):
+        nets, times = [], []
+        for units in PROFILE["linear_sizes"]:
+            machine = compiled_machine(units, backend=backend)
+            inputs = drive_steady_state(machine)
+            t = median_ms(lambda: machine.react(inputs), rounds=rounds)
+            nets.append(machine.stats()["nets"])
+            times.append(t)
+            print(f"  [{backend:>9}] {machine.stats()['nets']:>6} nets: "
+                  f"{t:7.3f} ms/reaction")
+        _s, corr = fit_slope(nets, times)
+        print(f"  [{backend:>9}] linear fit corr={corr:.4f}")
 
-    score = make_large_score(sections=60, groups_per_section=5, patterns_per_group=6)
-    perf = Performance(score, Audience(size=0))
-    perf.step()
-    t = median_ms(lambda: perf.machine.react({"seconds": 1, "second": True}))
-    print(f"  largest score ({perf.machine.stats()['nets']} nets): "
-          f"{t:.2f} ms/reaction (budget 300 ms)")
+    score = make_large_score(
+        sections=PROFILE["score_sections"],
+        groups_per_section=5,
+        patterns_per_group=6,
+    )
+    inputs = {"seconds": 1, "second": True}
+    medians = {}
+    stats = {}
+    for backend in ("worklist", "levelized"):
+        perf = Performance(score, Audience(size=0), backend=backend)
+        perf.step()
+        medians[backend] = median_ms(
+            lambda: perf.machine.react(inputs), rounds=rounds
+        )
+        stats[backend] = dict(perf.machine.stats())
+        print(f"  [{backend:>9}] largest score "
+              f"({perf.machine.stats()['nets']} nets): "
+              f"{medians[backend]:.2f} ms/reaction (budget 300 ms)")
+    speedup = medians["worklist"] / medians["levelized"]
+    print(f"  levelized speedup: {speedup:.2f}x")
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "workload": "skini-large-score-steady-state",
+                "sections": PROFILE["score_sections"],
+                "groups_per_section": 5,
+                "patterns_per_group": 6,
+                "circuit": stats["levelized"],
+                "median_reaction_ms": medians,
+                "speedup": round(speedup, 2),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"  wrote {BENCH_JSON.name}")
 
 
 def e7():
@@ -142,6 +193,14 @@ def a1():
 
 
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-size sweep for CI smoke runs",
+    )
+    if parser.parse_args().quick:
+        PROFILE.update(QUICK)
     e1_e2()
     e3()
     e4_e5()

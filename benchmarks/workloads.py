@@ -52,11 +52,13 @@ def schizo_module(depth: int) -> Module:
     return parse_module(schizo_source(depth))
 
 
-def compiled_machine(units: int, optimize: bool = True) -> ReactiveMachine:
+def compiled_machine(
+    units: int, optimize: bool = True, backend: str = "auto"
+) -> ReactiveMachine:
     compiled = compile_module(
         linear_module(units), options=CompileOptions(optimize=optimize)
     )
-    return ReactiveMachine(compiled)
+    return ReactiveMachine(compiled, backend=backend)
 
 
 def drive_steady_state(machine: ReactiveMachine, warmup: int = 3) -> Dict[str, bool]:

@@ -190,6 +190,7 @@ def build_login_machine(
     auth_service: Any,
     max_session_time: int = MAX_SESSION_TIME,
     table: Optional[ModuleTable] = None,
+    backend: str = "auto",
 ) -> ReactiveMachine:
     """Compile ``Main`` (v1) into a machine wired to the host loop and the
     (simulated) authentication service."""
@@ -198,6 +199,7 @@ def build_login_machine(
         table.get("Main"),
         modules=table,
         host_globals=_host_globals(loop, auth_service, max_session_time),
+        backend=backend,
     )
     machine.attach_loop(loop)
     return machine
@@ -208,6 +210,7 @@ def build_login_v2_machine(
     auth_service: Any,
     max_session_time: int = MAX_SESSION_TIME,
     table: Optional[ModuleTable] = None,
+    backend: str = "auto",
 ) -> ReactiveMachine:
     """Compile ``MainV2`` (quarantine) — Main is reused unmodified."""
     table = table or login_table()
@@ -215,6 +218,7 @@ def build_login_v2_machine(
         table.get("MainV2"),
         modules=table,
         host_globals=_host_globals(loop, auth_service, max_session_time),
+        backend=backend,
     )
     machine.attach_loop(loop)
     return machine

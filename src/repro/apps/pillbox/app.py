@@ -122,11 +122,13 @@ DEFAULT_PRESCRIPTION = Prescription()
 def build_pillbox_machine(
     prescription: Prescription = DEFAULT_PRESCRIPTION,
     table: Optional[ModuleTable] = None,
+    backend: str = "auto",
 ) -> ReactiveMachine:
     table = table or pillbox_table()
     machine = ReactiveMachine(
         table.get("Lisinopril"),
         modules=table,
+        backend=backend,
         host_globals={
             "inDoseWindow": prescription.in_window,
             # phase 1 starts min_dose_interval after the previous dose, so
@@ -165,9 +167,10 @@ class PillboxApp:
         self,
         prescription: Prescription = DEFAULT_PRESCRIPTION,
         start_minute: int = 19 * 60,  # 7 PM on day zero
+        backend: str = "auto",
     ):
         self.prescription = prescription
-        self.machine = build_pillbox_machine(prescription)
+        self.machine = build_pillbox_machine(prescription, backend=backend)
         self.time = start_minute
         self.log: List[Tuple[int, str, Any]] = []
         self.machine.react({"Time": self.time, "Mn": True})

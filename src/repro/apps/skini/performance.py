@@ -61,7 +61,13 @@ class Performance:
     the model objects.
     """
 
-    def __init__(self, score: Score, audience: Optional[Audience] = None, bpm: int = 120):
+    def __init__(
+        self,
+        score: Score,
+        audience: Optional[Audience] = None,
+        bpm: int = 120,
+        backend: str = "auto",
+    ):
         self.score = score
         self.audience = audience or Audience()
         self.synth = Synthesizer(bpm)
@@ -70,6 +76,7 @@ class Performance:
             module,
             modules=table,
             host_globals={"andBool": lambda a, b: bool(a and b)},
+            backend=backend,
         )
         self.seconds = 0
         self.reaction_times_ms: List[float] = []

@@ -7,6 +7,16 @@ combinational nets (gates, expression and action nets); registers break
 cycles.  Some cycles are harmless (they stabilize for every input — the
 constructive programs of section 5.2), so a cycle is a warning, not an
 error; actual deadlocks are detected at run time by the scheduler.
+
+The second analysis is *levelization* (:func:`levelize`): a topological
+sort of the augmented graph — boolean fanin edges *and* the EXPR/ACTION
+data-dependency edges together — into the condensation of its strongly
+connected components, with a longest-path level per net.  Statically
+acyclic regions need no fixpoint iteration at all: they can be evaluated
+as straight-line code, one net per statement, in level order (sorted-
+equation evaluation in the sense of Gaffé/Ressouche/Roy's modular
+Esterel compilation).  The levelization feeds the compiled evaluation
+plans of :mod:`repro.compiler.plan`.
 """
 
 from __future__ import annotations
@@ -90,6 +100,75 @@ def find_cycles(circuit: Circuit) -> List[List[Net]]:
             if any(src == net.id for src, _ in net.inputs) or net.id in net.deps:
                 cycles.append([net])
     return cycles
+
+
+class Levelization:
+    """The condensation of the augmented graph in evaluation order.
+
+    ``order``
+        SCCs (member-id lists, ids ascending within an SCC) in a
+        topological order of the condensation: every boolean fanin and
+        every data dependency of a component lies in an earlier one.
+    ``levels``
+        per-net longest-path depth; all members of an SCC share their
+        component's level.  Registers, inputs and source gates sit at
+        level 0.
+    ``cyclic``
+        the subset of ``order`` that is *not* straight-line evaluable:
+        components of size > 1, plus self-loops.
+    """
+
+    __slots__ = ("order", "levels", "cyclic")
+
+    def __init__(self, order: List[List[int]], levels: List[int], cyclic: List[List[int]]):
+        self.order = order
+        self.levels = levels
+        self.cyclic = cyclic
+
+    @property
+    def acyclic(self) -> bool:
+        return not self.cyclic
+
+    @property
+    def cyclic_net_count(self) -> int:
+        return sum(len(c) for c in self.cyclic)
+
+    @property
+    def depth(self) -> int:
+        return 1 + max(self.levels) if self.levels else 0
+
+
+def levelize(circuit: Circuit) -> Levelization:
+    """Topologically sort the augmented circuit into SCC components with
+    longest-path levels (proof of static acyclicity when ``.acyclic``)."""
+    edges = combinational_edges(circuit)
+    # Tarjan emits components sinks-first; reversed() is a topological
+    # order of the condensation (sources before their consumers).
+    components = list(reversed(strongly_connected_components(circuit)))
+    comp_of: Dict[int, int] = {}
+    for index, component in enumerate(components):
+        component.sort()
+        for net_id in component:
+            comp_of[net_id] = index
+
+    levels: List[int] = [0] * len(circuit.nets)
+    comp_level = [0] * len(components)
+    cyclic: List[List[int]] = []
+    for index, component in enumerate(components):
+        level = comp_level[index]
+        for net_id in component:
+            levels[net_id] = level
+            for succ in edges[net_id]:
+                succ_comp = comp_of[succ]
+                if succ_comp != index and comp_level[succ_comp] <= level:
+                    comp_level[succ_comp] = level + 1
+        if len(component) > 1:
+            cyclic.append(component)
+        else:
+            net = circuit.nets[component[0]]
+            if any(src == net.id for src, _ in net.inputs) or net.id in net.deps:
+                cyclic.append(component)
+    return Levelization(components, levels, cyclic)
 
 
 def cycle_warnings(circuit: Circuit) -> List[str]:

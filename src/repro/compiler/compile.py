@@ -48,9 +48,23 @@ class CompiledModule:
     warnings: List[str] = field(default_factory=list)
     #: the expanded kernel body (useful for debugging and the interpreter)
     kernel: Optional[A.Stmt] = None
+    #: lazily-built levelized evaluation plan (shared by every machine
+    #: constructed from this compiled module)
+    _plan: Optional[object] = field(default=None, repr=False, compare=False)
 
     def stats(self):
         return self.circuit.stats()
+
+    def evaluation_plan(self):
+        """The circuit's compiled :class:`~repro.compiler.plan.EvalPlan`,
+        built on first use and cached.  The circuit must not be mutated
+        after the first call (compilation, including the optimizer, is
+        already complete by construction)."""
+        if self._plan is None:
+            from repro.compiler.plan import build_plan
+
+            self._plan = build_plan(self.circuit)
+        return self._plan
 
 
 def compile_module(

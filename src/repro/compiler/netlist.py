@@ -320,6 +320,10 @@ class Circuit:
             total += sys.getsizeof(net.inputs)
             total += sum(sys.getsizeof(i) for i in net.inputs)
             total += sys.getsizeof(net.deps)
+            total += sum(sys.getsizeof(d) for d in net.deps)
+            if net.kind == REG:
+                # one boolean of sequential state per register
+                total += sys.getsizeof(net.init)
         return total
 
     def __repr__(self) -> str:

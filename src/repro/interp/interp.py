@@ -49,19 +49,20 @@ class UnsupportedProgram(HipHopError):
 
 
 def _and3(a, b):
-    if a is FALSE or b is FALSE:
-        return FALSE
-    if a is TRUE and b is TRUE:
-        return TRUE
-    return BOT
+    # Strict (not Kleene-lazy) connectives: guards are host data
+    # expressions, which the circuit backend treats as atomic black boxes
+    # that wait for *every* signal they read to be resolved (the paper's
+    # microscheduling).  `False && ⊥` must therefore stay ⊥, not short-
+    # circuit to False, or the oracle diverges from the reference backend.
+    if a is BOT or b is BOT:
+        return BOT
+    return TRUE if (a is TRUE and b is TRUE) else FALSE
 
 
 def _or3(a, b):
-    if a is TRUE or b is TRUE:
-        return TRUE
-    if a is FALSE and b is FALSE:
-        return FALSE
-    return BOT
+    if a is BOT or b is BOT:
+        return BOT
+    return TRUE if (a is TRUE or b is TRUE) else FALSE
 
 
 def _not3(a):

@@ -1,0 +1,171 @@
+"""Levelized reaction backend: straight-line plan execution.
+
+:class:`LevelizedScheduler` is a drop-in replacement for the worklist
+:class:`~repro.runtime.scheduler.Scheduler` (same ``values`` / ``state``
+/ ``react`` / ``clear_state`` surface, so the reactive machine and the
+host payloads cannot tell them apart).  Each reaction calls the plan's
+compiled straight-line function, which evaluates every net exactly once
+in level order — no queue, no ternary ⊥ bookkeeping, no per-reaction
+allocation (the values buffer is recycled with a slice copy).
+
+Cyclic components the levelization could not sort (constructive-but-
+cyclic programs) run as embedded *relaxation blocks*: a local ternary
+fixpoint over just those nets, walked over the plan's CSR adjacency
+arrays.  Because the constructive least fixpoint is unique and both
+backends respect the same data-dependency edges, a reaction observes the
+identical signal trace — and the identical
+:class:`~repro.errors.CausalityError` — whichever backend runs it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import CausalityError
+from repro.compiler.netlist import ACTION, AND, EXPR, OR, Net
+from repro.compiler.plan import EvalPlan
+
+UNKNOWN = None
+
+
+class LevelizedScheduler:
+    """Plan-based propagation engine for one circuit (one machine)."""
+
+    def __init__(self, plan: EvalPlan, host: Any):
+        self.plan = plan
+        self.circuit = plan.circuit
+        self.host = host
+        n = len(plan.circuit.nets)
+
+        #: per-reaction net values; reused in place every reaction
+        self.values: List[Optional[bool]] = [UNKNOWN] * n
+        self._blank: Tuple[Optional[bool], ...] = (UNKNOWN,) * n
+        #: register state (the sequential memory of the machine)
+        self.state: List[bool] = [net.init for net in plan.registers]
+        self._registers = plan.registers
+        self._blocks: Tuple[Callable[[], bool], ...] = tuple(
+            self._make_block(members, riders)
+            for members, riders in zip(plan.blocks, plan.block_riders)
+        )
+
+    # ------------------------------------------------------------------
+
+    def value(self, net: Net) -> Optional[bool]:
+        return self.values[net.id]
+
+    def react(self, input_values: Dict[int, bool]) -> None:
+        """Run one reaction (same contract as the worklist scheduler)."""
+        values = self.values
+        values[:] = self._blank
+        ok = self.plan.fn(
+            values,
+            self.state,
+            self.plan.payloads,
+            self.host,
+            input_values.get,
+            self._blocks,
+        )
+        if not ok:
+            self._diverge()
+
+    def clear_state(self) -> None:
+        """Reset all registers to their boot values (machine reset)."""
+        self.state[:] = [net.init for net in self._registers]
+
+    # ------------------------------------------------------------------
+    # ternary relaxation (cyclic blocks and the divergence error path)
+    # ------------------------------------------------------------------
+
+    def _relax_pass(self, net_ids: Iterable[int]) -> bool:
+        """One monotone sweep of the ternary least-fixpoint rules over the
+        still-unknown nets in ``net_ids``; True when something resolved.
+
+        Matches the worklist semantics net for net: OR resolves to 1 on
+        any true fanin and to 0 only when all fanins are 0 (dually AND);
+        EXPR/ACTION payloads fire exactly once, after their enable is
+        true and every data dependency is resolved.
+        """
+        plan = self.plan
+        values = self.values
+        nets = self.circuit.nets
+        fanin_index = plan.fanin_index
+        fanin_src = plan.fanin_src
+        fanin_neg = plan.fanin_neg
+        dep_index = plan.dep_index
+        dep_ids = plan.dep_ids
+        payloads = plan.payloads
+        changed = False
+        for net_id in net_ids:
+            if values[net_id] is not UNKNOWN:
+                continue
+            kind = nets[net_id].kind
+            lo, hi = fanin_index[net_id], fanin_index[net_id + 1]
+            if kind == OR or kind == AND:
+                want = kind == OR  # the absorbing fanin value
+                result: Optional[bool] = not want
+                for j in range(lo, hi):
+                    value = values[fanin_src[j]]
+                    if value is UNKNOWN:
+                        if result is not want:
+                            result = UNKNOWN
+                    elif (value ^ bool(fanin_neg[j])) is want:
+                        result = want
+                        break
+                if result is not UNKNOWN:
+                    values[net_id] = result
+                    changed = True
+            elif kind == EXPR or kind == ACTION:
+                enable = values[fanin_src[lo]]
+                if enable is UNKNOWN:
+                    continue
+                if not (enable ^ bool(fanin_neg[lo])):
+                    values[net_id] = False
+                    changed = True
+                    continue
+                if any(
+                    values[dep_ids[j]] is UNKNOWN
+                    for j in range(dep_index[net_id], dep_index[net_id + 1])
+                ):
+                    continue
+                result = payloads[net_id](self.host)
+                values[net_id] = bool(result) if kind == EXPR else True
+                changed = True
+            # REG / INPUT are level-0 sources: always already resolved.
+        return changed
+
+    def _make_block(
+        self, members: Tuple[int, ...], riders: Tuple[int, ...]
+    ) -> Callable[[], bool]:
+        """A runner relaxing one cyclic component to its local fixpoint.
+
+        ``riders`` (acyclic payload nets enabled from inside the block)
+        join the sweep so their side effects interleave with the block's
+        own payloads in net-id order, exactly as the worklist fires a
+        wire's fanout in creation order.  They do not gate convergence: a
+        rider left unknown here (e.g. a data dependency evaluated after
+        this block) is finished by its guarded straight-line statement.
+        """
+        values = self.values
+        sweep = tuple(sorted(members + riders))
+
+        def run() -> bool:
+            while self._relax_pass(sweep):
+                pass
+            return all(values[net_id] is not UNKNOWN for net_id in members)
+
+        return run
+
+    def _diverge(self) -> None:
+        """A block failed to converge: finish the global least fixpoint so
+        the unresolved set — and therefore the reported error — is
+        identical to the worklist scheduler's, then raise."""
+        all_ids = range(len(self.circuit.nets))
+        while self._relax_pass(all_ids):
+            pass
+        values = self.values
+        unresolved = [net for net in self.circuit.nets if values[net.id] is UNKNOWN]
+        raise CausalityError(
+            f"synchronous deadlock in {self.circuit.name}: the reaction "
+            f"left {len(unresolved)} net(s) undefined (causality cycle)",
+            [net.describe() for net in unresolved[:12]],
+        )

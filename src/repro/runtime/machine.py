@@ -34,8 +34,11 @@ from repro.lang import ast as A
 from repro.lang import expr as E
 from repro.compiler.compile import CompiledModule, CompileOptions, compile_module
 from repro.runtime.execblock import ExecFailure, ExecHandle, ExecState
+from repro.runtime.fastsched import LevelizedScheduler
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.signal import RuntimeSignal, SignalView
+
+BACKENDS = ("auto", "levelized", "worklist")
 
 
 class ReactionResult(Mapping):
@@ -140,6 +143,7 @@ class ReactiveMachine:
         host_globals: Optional[Dict[str, Any]] = None,
         loop: Optional[Any] = None,
         on_exec_error: Union[str, Callable[[ExecFailure], None]] = "raise",
+        backend: str = "auto",
     ):
         if isinstance(module, CompiledModule):
             self.compiled = module
@@ -153,7 +157,16 @@ class ReactiveMachine:
         self._loop = loop
 
         circuit = self.compiled.circuit
-        self._scheduler = Scheduler(circuit, self)
+        #: which reaction backend runs this machine ("levelized" or
+        #: "worklist"); `backend="auto"` picks the levelized plan when the
+        #: circuit is straight-line dominated and the worklist otherwise
+        self.backend = self._select_backend(backend)
+        if self.backend == "levelized":
+            self._scheduler = LevelizedScheduler(
+                self.compiled.evaluation_plan(), self
+            )
+        else:
+            self._scheduler = Scheduler(circuit, self)
         self._signals: List[RuntimeSignal] = [
             RuntimeSignal(
                 info.slot,
@@ -186,6 +199,18 @@ class ReactiveMachine:
     # ------------------------------------------------------------------
     # setup
     # ------------------------------------------------------------------
+
+    def _select_backend(self, backend: str) -> str:
+        if backend not in BACKENDS:
+            raise MachineError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if backend == "worklist":
+            return "worklist"
+        if backend == "levelized":
+            return "levelized"
+        plan = self.compiled.evaluation_plan()
+        return "levelized" if plan.auto_eligible else "worklist"
 
     def _resolve_combine(self, combine: Any, signal_name: str) -> Any:
         """Combine functions declared textually (``combine fname``) resolve

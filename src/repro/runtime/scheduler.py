@@ -41,19 +41,25 @@ class Scheduler:
     ``emit_value``, ``arm_counter``, ...).
     """
 
+    #: interned consumer-kind codes carried in the fanout tuples, so the
+    #: hot propagation loop dispatches on a small int instead of a string
+    _OR, _AND, _ENABLE = 0, 1, 2
+
     def __init__(self, circuit: Circuit, host: Any):
         self.circuit = circuit
         self.host = host
         n = len(circuit.nets)
 
-        #: boolean-fanout: src net -> [(consumer, negated, is_enable)]
-        self._fanouts: List[List[Tuple[int, bool]]] = [[] for _ in range(n)]
+        #: boolean-fanout: src net -> [(consumer, negated, kind code)]
+        self._fanouts: List[List[Tuple[int, bool, int]]] = [[] for _ in range(n)]
         #: dep waiters: resolved net -> [consumer ids]
         self._dep_waiters: List[List[int]] = [[] for _ in range(n)]
         self._fanin_count: List[int] = [0] * n
         self._dep_count: List[int] = [0] * n
         self._registers: List[Net] = []
         self._inputs: List[Net] = []
+        #: source-less gates, pre-resolved at reaction start: (id, value)
+        self._const_gates: List[Tuple[int, bool]] = []
 
         for net in circuit.nets:
             if net.kind == REG:
@@ -62,8 +68,18 @@ class Scheduler:
             if net.kind == INPUT:
                 self._inputs.append(net)
                 continue
+            if net.kind == OR:
+                code = self._OR
+                if not net.inputs:
+                    self._const_gates.append((net.id, False))
+            elif net.kind == AND:
+                code = self._AND
+                if not net.inputs:
+                    self._const_gates.append((net.id, True))
+            else:
+                code = self._ENABLE
             for src, neg in net.inputs:
-                self._fanouts[src].append((net.id, neg))
+                self._fanouts[src].append((net.id, neg, code))
             self._fanin_count[net.id] = len(net.inputs)
             for dep in net.deps:
                 self._dep_waiters[dep].append(net.id)
@@ -75,10 +91,23 @@ class Scheduler:
             net.id: i for i, net in enumerate(self._registers)
         }
 
-        # per-reaction scratch
+        # per-reaction scratch, refilled in place by reset(); the buffers
+        # (and therefore the settle closure below) live for the machine
         self.values: List[Optional[bool]] = [UNKNOWN] * n
-        self._unknown: List[int] = [0] * n
-        self._pending_deps: List[int] = [0] * n
+        self._blank: Tuple[Optional[bool], ...] = (UNKNOWN,) * n
+        self._unknown: List[int] = list(self._fanin_count)
+        self._pending_deps: List[int] = list(self._dep_count)
+        self._queue: deque = deque()
+
+        values = self.values
+        append = self._queue.append
+
+        def settle(net_id: int, value: bool) -> None:
+            if values[net_id] is UNKNOWN:
+                values[net_id] = value
+                append(net_id)
+
+        self._settle = settle
 
     # ------------------------------------------------------------------
 
@@ -86,10 +115,10 @@ class Scheduler:
         return self.values[net.id]
 
     def reset(self) -> None:
-        n = len(self.circuit.nets)
-        self.values = [UNKNOWN] * n
-        self._unknown = list(self._fanin_count)
-        self._pending_deps = list(self._dep_count)
+        self.values[:] = self._blank
+        self._unknown[:] = self._fanin_count
+        self._pending_deps[:] = self._dep_count
+        self._queue.clear()
 
     def react(self, input_values: Dict[int, bool]) -> None:
         """Run one reaction.
@@ -99,15 +128,12 @@ class Scheduler:
         does not stabilize.  On success the register state is latched.
         """
         self.reset()
-        queue: deque = deque()
+        queue = self._queue
         nets = self.circuit.nets
         values = self.values
-
-        def settle(net_id: int, value: bool) -> None:
-            if values[net_id] is not UNKNOWN:
-                return
-            values[net_id] = value
-            queue.append(net_id)
+        settle = self._settle
+        fanouts = self._fanouts
+        unknown = self._unknown
 
         # 1. registers show their state; inputs their provided status.
         for i, reg in enumerate(self._registers):
@@ -116,46 +142,41 @@ class Scheduler:
             settle(net.id, input_values.get(net.id, False))
         # 2. source-less gates resolve immediately (const0/const1, empty
         #    status nets of never-emitted locals).
-        for net in nets:
-            if net.kind == OR and not net.inputs:
-                settle(net.id, False)
-            elif net.kind == AND and not net.inputs:
-                settle(net.id, True)
+        for net_id, value in self._const_gates:
+            settle(net_id, value)
 
         # 3. propagate to fixpoint.
         while queue:
             net_id = queue.popleft()
             value = values[net_id]
-            for consumer_id, negated in self._fanouts[net_id]:
+            for consumer_id, negated, code in fanouts[net_id]:
                 if values[consumer_id] is not UNKNOWN:
                     continue
                 seen = value ^ negated
-                consumer = nets[consumer_id]
-                kind = consumer.kind
-                if kind == OR:
+                if code == 0:  # OR
                     if seen:
                         settle(consumer_id, True)
                     else:
-                        self._unknown[consumer_id] -= 1
-                        if self._unknown[consumer_id] == 0:
+                        unknown[consumer_id] -= 1
+                        if unknown[consumer_id] == 0:
                             settle(consumer_id, False)
-                elif kind == AND:
+                elif code == 1:  # AND
                     if not seen:
                         settle(consumer_id, False)
                     else:
-                        self._unknown[consumer_id] -= 1
-                        if self._unknown[consumer_id] == 0:
+                        unknown[consumer_id] -= 1
+                        if unknown[consumer_id] == 0:
                             settle(consumer_id, True)
                 else:  # EXPR / ACTION: the single boolean input is the enable
                     if not seen:
                         settle(consumer_id, False)
                     else:
                         # enabled: mark and check data deps
-                        self._unknown[consumer_id] = 0
+                        unknown[consumer_id] = 0
                         self._maybe_fire(consumer_id, settle)
             for waiter_id in self._dep_waiters[net_id]:
                 self._pending_deps[waiter_id] -= 1
-                if values[waiter_id] is UNKNOWN and self._unknown[waiter_id] == 0:
+                if values[waiter_id] is UNKNOWN and unknown[waiter_id] == 0:
                     self._maybe_fire(waiter_id, settle)
 
         # 4. completeness check: constructive programs stabilize fully.

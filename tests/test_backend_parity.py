@@ -1,0 +1,168 @@
+"""Backend equivalence: the levelized straight-line plan against the
+worklist scheduler.
+
+The levelized backend (``docs/performance.md``) must be observationally
+indistinguishable from the worklist: identical signal traces on random
+constructive programs, identical termination/pause status, and identical
+:class:`~repro.errors.CausalityError` reporting (message *and* offending
+net list) on non-constructive ones.  The paper apps double as end-to-end
+parity fixtures, and the ``auto`` policy is pinned: levelized for all
+three apps, worklist fallback for heavily cyclic circuits.
+"""
+
+import pytest
+from hypothesis import given, settings, HealthCheck
+
+from repro import CausalityError, MachineError, ReactiveMachine, parse_module
+from repro.apps.login import build_login_machine
+from repro.apps.pillbox import PillboxApp
+from repro.apps.skini import Audience, Performance, make_paper_score
+from repro.host import AuthService, SimulatedLoop
+from tests.strategies import input_traces, pure_modules
+
+_SETTINGS = dict(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def _run(module, trace, backend):
+    machine = ReactiveMachine(module, backend=backend)
+    outputs = []
+    for step in trace:
+        result = machine.react({name: True for name in step})
+        outputs.append((frozenset(result), result.paused, result.terminated))
+        if machine.terminated:
+            break
+    return outputs
+
+
+@settings(**_SETTINGS)
+@given(pure_modules(), input_traces())
+def test_backends_agree_on_random_programs(module, trace):
+    """Signal traces, pause/termination flags, and causality errors must
+    be identical between the two backends on arbitrary programs."""
+    try:
+        worklist = _run(module, trace, "worklist")
+        worklist_error = None
+    except CausalityError as e:
+        worklist = None
+        worklist_error = (str(e), tuple(e.nets))
+
+    try:
+        levelized = _run(module, trace, "levelized")
+        levelized_error = None
+    except CausalityError as e:
+        levelized = None
+        levelized_error = (str(e), tuple(e.nets))
+
+    assert worklist_error == levelized_error, (
+        f"causality reporting diverged\n{module.body!r}\n{trace}\n"
+        f"worklist={worklist_error}\nlevelized={levelized_error}"
+    )
+    assert worklist == levelized, (
+        f"trace divergence\n{module.body!r}\ninputs={trace}\n"
+        f"worklist={worklist}\nlevelized={levelized}"
+    )
+
+
+class TestAutoPolicy:
+    def test_cyclic_program_falls_back_to_worklist(self):
+        module = parse_module(
+            """
+            module M(out X) {
+              if (!X.now) { emit X }
+            }
+            """
+        )
+        machine = ReactiveMachine(module)  # backend="auto"
+        assert machine.backend == "worklist"
+
+    def test_cyclic_program_same_error_both_backends(self):
+        module = parse_module(
+            """
+            module M(out X) {
+              if (!X.now) { emit X }
+            }
+            """
+        )
+        errors = {}
+        for backend in ("worklist", "levelized"):
+            machine = ReactiveMachine(module, backend=backend)
+            with pytest.raises(CausalityError) as info:
+                machine.react({})
+            errors[backend] = (str(info.value), tuple(info.value.nets))
+        assert errors["worklist"] == errors["levelized"]
+
+    def test_unknown_backend_rejected(self):
+        module = parse_module("module M(out X) { emit X }")
+        with pytest.raises(MachineError):
+            ReactiveMachine(module, backend="turbo")
+
+
+ACCOUNTS = {"alice": "secret"}
+
+
+def _login_trace(backend):
+    loop = SimulatedLoop()
+    svc = AuthService(loop, ACCOUNTS, latency_ms=100)
+    machine = build_login_machine(loop, svc, backend=backend)
+    machine.react({})
+    trace = [machine.backend]
+    machine.react({"name": "alice", "passwd": "secret"})
+    trace.append(dict(machine.react({"login": True})))
+    loop.advance(150)
+    loop.advance_seconds(3)
+    trace.append((machine.connState.nowval, machine.time.nowval))
+    machine.react({"logout": True})
+    trace.append(machine.connState.nowval)
+    return trace
+
+
+def _pillbox_trace(backend):
+    app = PillboxApp(backend=backend)
+    trace = [app.machine.backend]
+    app.press_try()
+    app.tick_hours(1)
+    app.press_conf()
+    app.tick_hours(30)  # ride through the Try alarm window
+    app.press_try()
+    app.tick_hours(4.5)  # ...and into the missed-dose error
+    trace.append(app.log)
+    return trace
+
+
+def _skini_trace(backend):
+    perf = Performance(
+        make_paper_score(), Audience(size=12, seed=7), backend=backend
+    )
+    perf.run(40)
+    return [
+        perf.machine.backend,
+        [(p.time_s, p.pattern.pid, p.group) for p in perf.synth.timeline],
+        [g.name for g in perf.open_groups()],
+    ]
+
+
+class TestPaperAppParity:
+    """The three paper apps, replayed on both backends, must agree
+    event-for-event; under ``auto`` all three must pick levelized."""
+
+    def test_login(self):
+        worklist = _login_trace("worklist")
+        auto = _login_trace("auto")
+        assert auto[0] == "levelized"
+        assert worklist[1:] == auto[1:]
+
+    def test_pillbox(self):
+        worklist = _pillbox_trace("worklist")
+        auto = _pillbox_trace("auto")
+        assert auto[0] == "levelized"
+        assert worklist[1:] == auto[1:]
+
+    def test_skini(self):
+        worklist = _skini_trace("worklist")
+        auto = _skini_trace("auto")
+        assert auto[0] == "levelized"
+        assert worklist[1:] == auto[1:]
