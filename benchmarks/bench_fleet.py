@@ -1,0 +1,158 @@
+"""F1 — shared-plan machine fleets (the Skini audience at concert scale).
+
+The paper's Skini deployment runs one small synchronous program per
+audience member — thousands of instances of the *same* module.  Two
+claims are gated here and recorded in BENCH_fleet.json:
+
+* construction amortization: building a 1000-member fleet through the
+  structural compile cache must be ≥20× faster than 1000 cold
+  ``ReactiveMachine`` constructions (each recompiling the module);
+* steady state: a fleet of mid-size machines on the sparse dirty-cone
+  backend must drive ``react_all`` ≥2× faster than the full levelized
+  sweep (the per-member circuit is above the ``SPARSE_MIN_NETS`` auto
+  floor, so this is also what ``backend="auto"`` picks).
+
+The per-member memory split (shared compiled plan vs per-machine state)
+rides along for the report.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro import ReactiveMachine, clear_compile_cache
+from repro.apps.skini import make_audience_fleet, make_large_score, participant_module
+from repro.apps.skini.score import generate_score_module
+from repro.runtime.fleet import MachineFleet
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+FLEET_SIZE = 1000
+CONSTRUCTION_GATE = 20.0
+STEADY_STATE_GATE = 2.0
+
+
+def _update_bench_json(section, payload):
+    """Merge one section into BENCH_fleet.json (tests may run alone)."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _median_react_all_ms(fleet, inputs, rounds=20):
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fleet.react_all(inputs)
+        samples.append((time.perf_counter() - start) * 1000.0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_fleet_construction_amortization():
+    """1000 fleet members vs 1000 cold constructions of the same module.
+    The cold loop clears the compile cache before every construction, so
+    each one pays the full translate/optimize/levelize pipeline — exactly
+    what N independent ``ReactiveMachine(module)`` calls cost without the
+    structural cache."""
+    module = participant_module()
+
+    start = time.perf_counter()
+    for _ in range(FLEET_SIZE):
+        clear_compile_cache()
+        ReactiveMachine(module)
+    uncached_ms = (time.perf_counter() - start) * 1000.0
+
+    clear_compile_cache()
+    start = time.perf_counter()
+    fleet = make_audience_fleet(FLEET_SIZE)
+    fleet_ms = (time.perf_counter() - start) * 1000.0
+    assert len(fleet) == FLEET_SIZE
+
+    speedup = uncached_ms / fleet_ms
+    report = fleet.memory_report()
+    _update_bench_json(
+        "construction",
+        {
+            "members": FLEET_SIZE,
+            "module": "Participant",
+            "fleet_ms": round(fleet_ms, 2),
+            "uncached_ms": round(uncached_ms, 2),
+            "per_member_us": round(1000.0 * fleet_ms / FLEET_SIZE, 2),
+            "speedup": round(speedup, 1),
+        },
+    )
+    _update_bench_json(
+        "memory",
+        {
+            "members": report["members"],
+            "shared_bytes": report["shared_bytes"],
+            "per_machine_bytes": report["per_machine_bytes"],
+            "total_bytes": report["total_bytes"],
+            "unshared_total_bytes": report["unshared_total_bytes"],
+            "amortization": round(report["amortization"], 2),
+        },
+    )
+    assert speedup >= CONSTRUCTION_GATE, (
+        f"fleet construction only {speedup:.1f}x faster than uncached "
+        f"(fleet {fleet_ms:.1f} ms, uncached {uncached_ms:.1f} ms)"
+    )
+
+
+def test_fleet_sparse_steady_state_speedup():
+    """A fleet of mid-size score machines (~700 nets each, above the
+    sparse auto floor): steady-state ``react_all`` on the sparse backend
+    vs the full levelized sweep."""
+    score = make_large_score(sections=8, groups_per_section=5, patterns_per_group=6)
+    module, table = generate_score_module(score)
+    members = 8
+    inputs = {"seconds": 1, "second": True}
+    medians = {}
+    nets = None
+    for backend in ("levelized", "sparse", "auto"):
+        fleet = MachineFleet(
+            module,
+            modules=table,
+            host_globals={"andBool": lambda a, b: bool(a and b)},
+            size=members,
+            backend=backend,
+        )
+        if backend == "auto":
+            assert fleet.stats()["backends"] == {"sparse": members}
+        fleet.react_all({})
+        nets = fleet.stats()["nets"]
+        _median_react_all_ms(fleet, inputs, rounds=5)  # settle
+        medians[backend] = _median_react_all_ms(fleet, inputs)
+
+    speedup = medians["levelized"] / medians["sparse"]
+    _update_bench_json(
+        "steady_state",
+        {
+            "members": members,
+            "nets_per_member": nets,
+            "median_react_all_ms": {k: round(v, 4) for k, v in medians.items()},
+            "per_member_us": {
+                k: round(1000.0 * v / members, 2) for k, v in medians.items()
+            },
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert speedup >= STEADY_STATE_GATE, (
+        f"sparse fleet only {speedup:.2f}x faster "
+        f"(levelized {medians['levelized']:.3f} ms, "
+        f"sparse {medians['sparse']:.3f} ms)"
+    )
+
+
+def test_participant_fleet_reacts_in_audience_scale_budget():
+    """Sanity envelope: a 1000-member participant fleet absorbs a full
+    broadcast reaction well inside the 300 ms musical pulse."""
+    fleet = make_audience_fleet(FLEET_SIZE)
+    fleet.react_all({})
+    median = _median_react_all_ms(fleet, {"select": "p"}, rounds=5)
+    assert median < 300.0, f"audience reaction blew the pulse: {median:.1f} ms"

@@ -58,3 +58,29 @@ def test_bytes_per_net_stable_across_programs():
     for circuit in (_pillbox_circuit(), _score_circuit(sections=20)):
         per_net.append(circuit.memory_estimate() / circuit.stats()["nets"])
     assert max(per_net) < 2 * min(per_net), per_net
+
+
+def test_per_machine_state_is_a_fraction_of_the_shared_plan():
+    """With the structural compile cache, N machines of one module share
+    the circuit + evaluation plan; each extra machine only pays its
+    mutable state (value/register buffers, signal slots, exec slots).
+    The split is what ``MachineFleet.memory_report()`` reports — the
+    per-machine increment must be a small fraction of the shared part."""
+    from repro import compile_cached
+    from repro.apps.pillbox import pillbox_table
+    from repro.apps.skini import participant_module
+
+    table = pillbox_table()
+    for module, mods in (
+        (participant_module(), None),
+        (table.get("Lisinopril"), table),
+    ):
+        compiled = compile_cached(module, mods)
+        shared = compiled.circuit.memory_estimate()
+        shared += compiled.evaluation_plan().memory_estimate()
+        per_machine = compiled.circuit.per_machine_state_estimate()
+        assert per_machine > 0
+        assert per_machine < shared / 3, (
+            f"{compiled.circuit.name}: per-machine state {per_machine} B "
+            f"should be well under the shared footprint {shared} B"
+        )

@@ -16,8 +16,20 @@ from repro.apps.skini import Audience, Performance, make_large_score
 from workloads import compiled_machine, drive_steady_state, fit_slope
 
 SIZES = (2, 8, 32, 64)
-BACKENDS = ("worklist", "levelized")
+BACKENDS = ("worklist", "levelized", "sparse")
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_reaction.json"
+
+
+def _update_bench_json(section, payload):
+    """Merge one section into BENCH_reaction.json (tests may run alone)."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -91,23 +103,80 @@ def test_levelized_speedup_on_largest_score():
         stats[backend] = dict(perf.machine.stats())
 
     speedup = medians["worklist"] / medians["levelized"]
-    BENCH_JSON.write_text(
-        json.dumps(
-            {
-                "workload": "skini-large-score-steady-state",
-                "sections": 60,
-                "groups_per_section": 5,
-                "patterns_per_group": 6,
-                "circuit": stats["levelized"],
-                "median_reaction_ms": medians,
-                "speedup": round(speedup, 2),
-            },
-            indent=2,
-        )
-        + "\n"
+    _update_bench_json(
+        "levelized_vs_worklist",
+        {
+            "workload": "skini-large-score-steady-state",
+            "sections": 60,
+            "groups_per_section": 5,
+            "patterns_per_group": 6,
+            "circuit": stats["levelized"],
+            "median_reaction_ms": medians,
+            "speedup": round(speedup, 2),
+        },
     )
     assert speedup >= 2.0, (
         f"levelized backend only {speedup:.2f}x faster "
         f"(worklist {medians['worklist']:.3f} ms, "
         f"levelized {medians['levelized']:.3f} ms)"
+    )
+
+
+def test_sparse_speedup_on_one_changed_input():
+    """The PR-3 tentpole claim: when a steady-state reaction changes a
+    single input, the sparse dirty-cone backend only evaluates that
+    input's cone and reacts ≥5× faster (median) than the full levelized
+    sweep.  The workload alternates the presence of one group input on
+    the largest Skini score while the clock inputs stay constant, so
+    exactly one input changes per reaction."""
+    score = make_large_score(sections=60, groups_per_section=5, patterns_per_group=6)
+
+    def toggled(step):
+        inputs = {"seconds": 1, "second": True}
+        if step % 2 == 0:
+            inputs["S10G0In"] = True
+        return inputs
+
+    def median_alternating(machine, rounds):
+        samples = []
+        for step in range(rounds):
+            inputs = toggled(step)
+            start = time.perf_counter()
+            machine.react(inputs)
+            samples.append((time.perf_counter() - start) * 1000.0)
+        samples.sort()
+        return samples[len(samples) // 2]
+
+    medians = {}
+    sparse_counters = {}
+    for backend in ("levelized", "sparse"):
+        perf = Performance(score, Audience(size=0), backend=backend)
+        assert perf.machine.backend == backend
+        perf.step()
+        median_alternating(perf.machine, rounds=10)  # settle
+        medians[backend] = median_alternating(perf.machine, rounds=40)
+        if backend == "sparse":
+            sched = perf.machine._scheduler
+            sparse_counters = {
+                "sparse_reactions": sched.sparse_reactions,
+                "full_reactions": sched.full_reactions,
+            }
+
+    speedup = medians["levelized"] / medians["sparse"]
+    _update_bench_json(
+        "sparse_one_changed_input",
+        {
+            "workload": "skini-large-score-one-toggled-input",
+            "toggled_input": "S10G0In",
+            "median_reaction_ms": medians,
+            "speedup": round(speedup, 2),
+            **sparse_counters,
+        },
+    )
+    # steady state must actually stay on the sparse path
+    assert sparse_counters["sparse_reactions"] > sparse_counters["full_reactions"]
+    assert speedup >= 5.0, (
+        f"sparse backend only {speedup:.2f}x faster "
+        f"(levelized {medians['levelized']:.3f} ms, "
+        f"sparse {medians['sparse']:.3f} ms)"
     )

@@ -19,11 +19,24 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 #: full-size vs --quick sweep parameters
-FULL = dict(linear_sizes=(2, 8, 32, 64), score_sections=60, rounds=20)
-QUICK = dict(linear_sizes=(2, 8), score_sections=8, rounds=5)
+FULL = dict(
+    linear_sizes=(2, 8, 32, 64),
+    score_sections=60,
+    rounds=20,
+    fleet_size=1000,
+    fleet_uncached_sample=200,
+)
+QUICK = dict(
+    linear_sizes=(2, 8),
+    score_sections=8,
+    rounds=5,
+    fleet_size=200,
+    fleet_uncached_sample=25,
+)
 PROFILE = dict(FULL)
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_reaction.json"
+BENCH_FLEET_JSON = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
 
 from workloads import (  # noqa: E402
     compiled_machine,
@@ -98,9 +111,20 @@ def e4_e5():
     print(f"  ours: {nets} nets, {size/1024/1024:.2f} MB, {size/nets:.0f} B/net")
 
 
+def _write_sections(path, sections):
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}
+    data.update(sections)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
 def e6():
     print("\nE6 - reaction time vs circuit size (paper: linear; <=15ms for the"
-          " largest score vs a 300ms pulse); both backends, see "
+          " largest score vs a 300ms pulse); all three backends, see "
           "docs/performance.md")
     rounds = PROFILE["rounds"]
     for backend in ("worklist", "levelized"):
@@ -124,7 +148,7 @@ def e6():
     inputs = {"seconds": 1, "second": True}
     medians = {}
     stats = {}
-    for backend in ("worklist", "levelized"):
+    for backend in ("worklist", "levelized", "sparse"):
         perf = Performance(score, Audience(size=0), backend=backend)
         perf.step()
         medians[backend] = median_ms(
@@ -135,10 +159,33 @@ def e6():
               f"({perf.machine.stats()['nets']} nets): "
               f"{medians[backend]:.2f} ms/reaction (budget 300 ms)")
     speedup = medians["worklist"] / medians["levelized"]
-    print(f"  levelized speedup: {speedup:.2f}x")
-    BENCH_JSON.write_text(
-        json.dumps(
-            {
+    print(f"  levelized speedup over worklist: {speedup:.2f}x")
+
+    # one changed input per reaction: the sparse dirty-cone headline
+    toggle_medians = {}
+    for backend in ("levelized", "sparse"):
+        perf = Performance(score, Audience(size=0), backend=backend)
+        perf.step()
+        samples = []
+        for step in range(max(2 * rounds, 10)):
+            step_inputs = dict(inputs)
+            if step % 2 == 0:
+                step_inputs["S0G0In"] = True
+            start = time.perf_counter()
+            perf.machine.react(step_inputs)
+            samples.append((time.perf_counter() - start) * 1000)
+        samples.sort()
+        toggle_medians[backend] = samples[len(samples) // 2]
+    sparse_speedup = toggle_medians["levelized"] / toggle_medians["sparse"]
+    print(f"  one-toggled-input workload: levelized "
+          f"{toggle_medians['levelized']:.3f} ms, sparse "
+          f"{toggle_medians['sparse']:.3f} ms "
+          f"({sparse_speedup:.2f}x)")
+
+    _write_sections(
+        BENCH_JSON,
+        {
+            "levelized_vs_worklist": {
                 "workload": "skini-large-score-steady-state",
                 "sections": PROFILE["score_sections"],
                 "groups_per_section": 5,
@@ -147,11 +194,72 @@ def e6():
                 "median_reaction_ms": medians,
                 "speedup": round(speedup, 2),
             },
-            indent=2,
-        )
-        + "\n"
+            "sparse_one_changed_input": {
+                "workload": "skini-large-score-one-toggled-input",
+                "toggled_input": "S0G0In",
+                "median_reaction_ms": toggle_medians,
+                "speedup": round(sparse_speedup, 2),
+            },
+        },
     )
     print(f"  wrote {BENCH_JSON.name}")
+
+
+def f1():
+    print("\nF1 - shared-plan fleets (compile cache + per-machine state)")
+    from repro import ReactiveMachine, clear_compile_cache
+    from repro.apps.skini import make_audience_fleet, participant_module
+
+    size = PROFILE["fleet_size"]
+    sample = PROFILE["fleet_uncached_sample"]
+    module = participant_module()
+
+    start = time.perf_counter()
+    for _ in range(sample):
+        clear_compile_cache()
+        ReactiveMachine(module)
+    per_uncached_ms = (time.perf_counter() - start) * 1000 / sample
+    uncached_ms = per_uncached_ms * size
+
+    clear_compile_cache()
+    start = time.perf_counter()
+    fleet = make_audience_fleet(size)
+    fleet_ms = (time.perf_counter() - start) * 1000
+    speedup = uncached_ms / fleet_ms
+    report = fleet.memory_report()
+
+    print(f"  fleet({size}):    {fleet_ms:8.1f} ms "
+          f"({1000 * fleet_ms / size:.0f} us/member)")
+    print(f"  uncached x{size}: {uncached_ms:8.1f} ms "
+          f"({per_uncached_ms:.2f} ms each, measured on {sample})")
+    print(f"  construction speedup: {speedup:.1f}x (gate in bench_fleet: 20x)")
+    print(f"  memory: shared {report['shared_bytes'] / 1024:.1f} KB + "
+          f"{report['per_machine_bytes']} B/machine; "
+          f"amortization {report['amortization']:.1f}x at {size} members")
+
+    _write_sections(
+        BENCH_FLEET_JSON,
+        {
+            "construction": {
+                "members": size,
+                "module": "Participant",
+                "fleet_ms": round(fleet_ms, 2),
+                "uncached_ms": round(uncached_ms, 2),
+                "uncached_sample": sample,
+                "per_member_us": round(1000 * fleet_ms / size, 2),
+                "speedup": round(speedup, 1),
+            },
+            "memory": {
+                "members": report["members"],
+                "shared_bytes": report["shared_bytes"],
+                "per_machine_bytes": report["per_machine_bytes"],
+                "total_bytes": report["total_bytes"],
+                "unshared_total_bytes": report["unshared_total_bytes"],
+                "amortization": round(report["amortization"], 2),
+            },
+        },
+    )
+    print(f"  wrote {BENCH_FLEET_JSON.name}")
 
 
 def e7():
@@ -206,5 +314,6 @@ if __name__ == "__main__":
     e4_e5()
     e6()
     e7()
+    f1()
     r1()
     a1()

@@ -8,9 +8,26 @@ HipHop score program, the group openings over time, and the synthesizer
 timeline.
 
     python examples/skini_concert.py
+
+With ``--fleet``, additionally runs the concert-scale deployment: every
+audience member is its own reactive machine (1000 instances of the
+Participant module sharing one compiled plan through a ``MachineFleet``)
+driven against the conductor score.
+
+    python examples/skini_concert.py --fleet
 """
 
-from repro.apps.skini import Audience, Performance, make_large_score, make_paper_score
+import random
+import sys
+import time
+
+from repro.apps.skini import (
+    Audience,
+    Performance,
+    make_audience_fleet,
+    make_large_score,
+    make_paper_score,
+)
 from repro.apps.skini.score import generate_score_source
 
 
@@ -51,6 +68,61 @@ def classical_scale() -> None:
           f"(<< 300 ms pulse, as in the paper)")
 
 
+def fleet_concert(members: int = 1000) -> None:
+    """Concert-scale: one reactive machine per audience member.
+
+    The conductor runs the score program; each participant runs its own
+    Participant machine (request → grant → play → done).  All ``members``
+    machines share a single compiled circuit and evaluation plan, so
+    construction is one compile plus O(state) per member.
+    """
+    print(f"\n=== Fleet deployment ({members} participant machines) " + "=" * 8)
+    start = time.perf_counter()
+    fleet = make_audience_fleet(members)
+    built_ms = (time.perf_counter() - start) * 1000
+    report = fleet.memory_report()
+    print(f"  built in {built_ms:.1f} ms ({1000 * built_ms / members:.0f} us/member) — "
+          f"one compile, shared plan")
+    print(f"  memory: {report['shared_bytes'] / 1024:.1f} KB shared + "
+          f"{report['per_machine_bytes']} B/machine "
+          f"({report['amortization']:.1f}x smaller than unshared)")
+
+    score = make_large_score(sections=15, groups_per_section=4, patterns_per_group=6)
+    conductor = Performance(score, Audience(size=0))
+    fleet.react_all({})  # boot every participant
+
+    rng = random.Random(2020)
+    granted = 0
+    done = 0
+    start = time.perf_counter()
+    for second in range(120):
+        conductor.step()
+        open_groups = conductor.open_groups()
+        # a slice of the audience taps a pattern from some open group
+        if open_groups:
+            for index in rng.sample(range(members), k=members // 20):
+                group = rng.choice(open_groups)
+                pattern = rng.choice(group.patterns)
+                result = fleet.react_one(index, {"select": pattern.pid})
+                if result.present("request"):
+                    # the conductor queues it and grants the slot
+                    grant = fleet.react_one(index, {"grant": True})
+                    granted += 1
+                    if grant.present("playing"):
+                        stop = fleet.react_one(index, {"stop": True})
+                        if stop.present("done"):
+                            done += 1
+    drive_ms = (time.perf_counter() - start) * 1000
+    reactions = fleet.stats()["reactions"]
+    print(f"  120 simulated seconds: {reactions} participant reactions in "
+          f"{drive_ms:.0f} ms ({1000 * drive_ms / max(reactions, 1):.1f} us each)")
+    print(f"  {granted} requests granted, {done} patterns played to completion")
+    backends = fleet.stats()["backends"]
+    print(f"  backends: {backends} (41-net participants stay on the full sweep)")
+
+
 if __name__ == "__main__":
     paper_concert()
     classical_scale()
+    if "--fleet" in sys.argv[1:]:
+        fleet_concert()

@@ -35,8 +35,14 @@ from repro.errors import (
 from repro.lang import ast, dsl, expr
 from repro.lang.ast import Module, ModuleTable
 from repro.lang.signals import SignalDecl, VarDecl
-from repro.compiler import CompileOptions, compile_module
-from repro.runtime import ReactionResult, ReactiveMachine
+from repro.compiler import (
+    CompileOptions,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_cached,
+    compile_module,
+)
+from repro.runtime import MachineFleet, ReactionResult, ReactiveMachine
 from repro.syntax import parse_expression, parse_module, parse_program, parse_statement
 
 __version__ = "1.0.0"
@@ -44,11 +50,15 @@ __version__ = "1.0.0"
 __all__ = [
     "ReactiveMachine",
     "ReactionResult",
+    "MachineFleet",
     "Module",
     "ModuleTable",
     "SignalDecl",
     "VarDecl",
     "compile_module",
+    "compile_cached",
+    "compile_cache_stats",
+    "clear_compile_cache",
     "CompileOptions",
     "parse_module",
     "parse_program",

@@ -164,9 +164,17 @@ LOGIN_PROGRAM = "\n".join(
 )
 
 
+_LOGIN_TABLE: Optional[ModuleTable] = None
+
+
 def login_table() -> ModuleTable:
-    """Parse the full login program (v1 + v2 modules)."""
-    return parse_program(LOGIN_PROGRAM)
+    """Parse the full login program (v1 + v2 modules), once per process;
+    with the structural compile cache this makes repeated
+    :func:`build_login_machine` calls cache-hit-only."""
+    global _LOGIN_TABLE
+    if _LOGIN_TABLE is None:
+        _LOGIN_TABLE = parse_program(LOGIN_PROGRAM)
+    return _LOGIN_TABLE
 
 
 def state_priority(old: str, new: str) -> str:

@@ -96,8 +96,16 @@ module Lisinopril(in Mn, in Try, in Conf, in Time = 0, in Reset,
 PILLBOX_PROGRAM = BUTTON_SOURCE + "\n" + LISINOPRIL_SOURCE
 
 
+_PILLBOX_TABLE: Optional[ModuleTable] = None
+
+
 def pillbox_table() -> ModuleTable:
-    return parse_program(PILLBOX_PROGRAM)
+    """Parsed once per process; combined with the structural compile
+    cache, repeated ``PillboxApp()`` constructions are cache-hit-only."""
+    global _PILLBOX_TABLE
+    if _PILLBOX_TABLE is None:
+        _PILLBOX_TABLE = parse_program(PILLBOX_PROGRAM)
+    return _PILLBOX_TABLE
 
 
 @dataclass

@@ -14,6 +14,11 @@ from repro.apps.skini.score import (
     make_paper_score,
     make_large_score,
 )
+from repro.apps.skini.participant import (
+    PARTICIPANT_PROGRAM,
+    make_audience_fleet,
+    participant_module,
+)
 from repro.apps.skini.performance import Audience, Performance
 
 __all__ = [
@@ -34,4 +39,7 @@ __all__ = [
     "make_large_score",
     "Audience",
     "Performance",
+    "PARTICIPANT_PROGRAM",
+    "participant_module",
+    "make_audience_fleet",
 ]

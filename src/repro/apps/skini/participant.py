@@ -1,0 +1,62 @@
+"""The Skini *participant*: one audience member as a reactive machine.
+
+The paper's Skini deployment (section 4.2) runs one conductor score plus
+one small synchronous program per audience member's device: the client
+queues a pattern request, waits for the conductor to schedule it into a
+tank, plays it, and loops.  At concert scale that is thousands of
+instances of the *same* module — the motivating workload for the
+structural compile cache and :class:`~repro.runtime.fleet.MachineFleet`:
+the module compiles once, every participant shares the plan, and each
+participant reaction touches only its own few dirty nets.
+
+``make_audience_fleet(1000)`` is the pool used by the fleet variant of
+``examples/skini_concert.py`` and by ``benchmarks/bench_fleet.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import Module
+from repro.runtime.fleet import MachineFleet
+from repro.syntax import parse_module
+
+#: One audience member.  `select` carries the pattern the participant
+#: tapped; the request stays up (sustained) until the conductor grants it
+#: with `grant`; the pattern then plays until `stop`, after which the
+#: participant reports `done` with its running total and loops back to
+#: listening.
+PARTICIPANT_PROGRAM = """
+module Participant(in select, in grant, in stop,
+                   out request, out playing, out done = 0) {
+  let played = 0;
+  loop {
+    await (select.now);
+    abort (grant.now) {
+      sustain request(select.nowval)
+    }
+    abort (stop.now) {
+      sustain playing(grant.nowval)
+    }
+    atom { played = played + 1 }
+    emit done(played)
+  }
+}
+"""
+
+_PARTICIPANT: Optional[Module] = None
+
+
+def participant_module() -> Module:
+    """The parsed participant module (parsed once per process; machine
+    construction additionally hits the structural compile cache, so every
+    participant shares one compiled circuit and plan)."""
+    global _PARTICIPANT
+    if _PARTICIPANT is None:
+        _PARTICIPANT = parse_module(PARTICIPANT_PROGRAM)
+    return _PARTICIPANT
+
+
+def make_audience_fleet(size: int, backend: str = "auto", **kwargs) -> MachineFleet:
+    """A fleet of ``size`` participant machines sharing one compiled plan."""
+    return MachineFleet(participant_module(), size=size, backend=backend, **kwargs)

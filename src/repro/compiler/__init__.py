@@ -1,5 +1,17 @@
 """Compiler: macro expansion, circuit translation, optimization, analysis."""
 
-from repro.compiler.compile import compile_module, CompileOptions
+from repro.compiler.compile import (
+    CompileOptions,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_cached,
+    compile_module,
+)
 
-__all__ = ["compile_module", "CompileOptions"]
+__all__ = [
+    "compile_module",
+    "compile_cached",
+    "compile_cache_stats",
+    "clear_compile_cache",
+    "CompileOptions",
+]

@@ -7,8 +7,10 @@ back half (the reactive machine wrapping the circuit simulator) lives in
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.lang import ast as A
 from repro.lang import expr as E
@@ -51,6 +53,9 @@ class CompiledModule:
     #: lazily-built levelized evaluation plan (shared by every machine
     #: constructed from this compiled module)
     _plan: Optional[object] = field(default=None, repr=False, compare=False)
+    #: lazily-built signal lookup tables (status-net → slot etc.), shared
+    #: by every machine; see ``ReactiveMachine._signal_maps``
+    _signal_maps: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     def stats(self):
         return self.circuit.stats()
@@ -92,3 +97,135 @@ def compile_module(
     if options.check_cycles:
         warnings = cycle_warnings(circuit)
     return CompiledModule(module, circuit, list(frame_vars), warnings, kernel)
+
+
+# ---------------------------------------------------------------------------
+# structural compile cache
+# ---------------------------------------------------------------------------
+
+#: cache capacity; beyond it the least-recently-used entry is evicted.
+COMPILE_CACHE_SIZE = 256
+
+_cache: "OrderedDict[str, CompiledModule]" = OrderedDict()
+_cache_stats: Dict[str, int] = {"hits": 0, "misses": 0, "uncacheable": 0}
+
+
+def _embedded_callables(module: A.Module) -> List[int]:
+    """Identities of every host callable reachable from the module AST.
+
+    Pretty-printing renders atoms, lambdas and ``async`` bodies opaquely
+    (``/* python callable */``), so two modules that differ *only* in
+    their host callables would otherwise hash alike — and the cache would
+    hand one module's compiled payloads to the other.  The walk stays
+    inside ``repro.lang`` node types (statements, expressions, the module
+    itself) plus plain containers; everything else that is callable is
+    recorded by ``id()``.  The cache holds strong references to its keys'
+    modules — and therefore to these callables — so an id can not be
+    recycled while its entry is alive.
+    """
+    out: List[int] = []
+    seen = set()
+    stack: List[Any] = [module]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, (str, bytes, int, float, bool, type(None))):
+            continue
+        if isinstance(obj, (list, tuple)):
+            stack.extend(reversed(obj))
+        elif isinstance(obj, dict):
+            for key, value in obj.items():
+                stack.append(key)
+                stack.append(value)
+        elif type(obj).__module__.startswith("repro.lang"):
+            if hasattr(obj, "__dict__"):
+                stack.extend(reversed(list(vars(obj).values())))
+            else:
+                for cls in type(obj).__mro__:
+                    for name in getattr(cls, "__slots__", ()):
+                        if hasattr(obj, name):
+                            stack.append(getattr(obj, name))
+        elif callable(obj):
+            out.append(id(obj))
+    return out
+
+
+def _structural_key(
+    module: A.Module,
+    modules: Optional[A.ModuleTable],
+    options: Optional[CompileOptions],
+) -> Optional[str]:
+    """A content hash of everything compilation depends on.
+
+    The key is the pretty-printed source of the module and of every
+    module in the resolution table (``run`` targets), plus the identities
+    of the embedded host callables (see :func:`_embedded_callables`) and
+    the option knobs.  Returns None when the module can not be rendered
+    (treated as uncacheable).
+    """
+    from repro.lang.pretty import pretty_module
+
+    digest = hashlib.sha256()
+    try:
+        digest.update(pretty_module(module).encode())
+        for ident in _embedded_callables(module):
+            digest.update(ident.to_bytes(8, "little", signed=True))
+        if modules is not None:
+            for name in modules.names():
+                digest.update(b"\x00module\x00")
+                digest.update(pretty_module(modules.get(name)).encode())
+                for ident in _embedded_callables(modules.get(name)):
+                    digest.update(ident.to_bytes(8, "little", signed=True))
+    except Exception:
+        return None
+    options = options or CompileOptions()
+    digest.update(
+        f"\x00{options.optimize}\x00{options.loop_duplication}"
+        f"\x00{options.check_cycles}".encode()
+    )
+    return digest.hexdigest()
+
+
+def compile_cached(
+    module: A.Module,
+    modules: Optional[A.ModuleTable] = None,
+    options: Optional[CompileOptions] = None,
+) -> CompiledModule:
+    """:func:`compile_module` through a structural-hash keyed LRU cache.
+
+    N machines built from the same module share a single
+    :class:`CompiledModule` — and therefore a single circuit and a single
+    lazily-built :class:`~repro.compiler.plan.EvalPlan` — so constructing
+    another machine costs O(per-machine state), not O(compile).  This is
+    the module-level sharing behind :class:`~repro.runtime.fleet.MachineFleet`
+    and the route every app builder and raw-module
+    ``ReactiveMachine(...)`` construction takes.
+    """
+    key = _structural_key(module, modules, options)
+    if key is None:
+        _cache_stats["uncacheable"] += 1
+        return compile_module(module, modules, options)
+    cached = _cache.get(key)
+    if cached is not None:
+        _cache.move_to_end(key)
+        _cache_stats["hits"] += 1
+        return cached
+    _cache_stats["misses"] += 1
+    compiled = compile_module(module, modules, options)
+    _cache[key] = compiled
+    if len(_cache) > COMPILE_CACHE_SIZE:
+        _cache.popitem(last=False)
+    return compiled
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached compilation and zero the statistics."""
+    _cache.clear()
+    _cache_stats.update(hits=0, misses=0, uncacheable=0)
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """Hit/miss/uncacheable counters plus the current entry count."""
+    return {**_cache_stats, "entries": len(_cache)}

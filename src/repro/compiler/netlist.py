@@ -326,5 +326,27 @@ class Circuit:
                 total += sys.getsizeof(net.init)
         return total
 
+    def per_machine_state_estimate(self) -> int:
+        """Rough size in bytes of the state one *additional* machine
+        running this circuit must allocate — the net-values buffer,
+        register state, and per-signal/exec/counter runtime slots.  The
+        net graph itself (:meth:`memory_estimate`) and the compiled
+        evaluation plan are shared across every machine built from one
+        compiled module (see :mod:`repro.runtime.fleet`), so fleet
+        footprint ≈ shared + members × this."""
+        import sys
+
+        pointer = 8
+        registers = sum(1 for net in self.nets if net.kind == REG)
+        # net values buffer + register state list
+        total = sys.getsizeof([]) + pointer * len(self.nets)
+        total += sys.getsizeof([]) + pointer * registers
+        # RuntimeSignal slot objects (9 __slots__ fields + object header)
+        total += (56 + 9 * pointer) * len(self.signals)
+        # counters (small ints, list cells) and ExecState objects
+        total += pointer * len(self.counters)
+        total += (56 + 8 * pointer) * len(self.execs)
+        return total
+
     def __repr__(self) -> str:
         return f"Circuit({self.name}, {len(self.nets)} nets)"

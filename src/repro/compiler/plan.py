@@ -36,7 +36,12 @@ from __future__ import annotations
 from array import array
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.compiler.analysis import Levelization, levelize
+from repro.compiler.analysis import (
+    Levelization,
+    combinational_edges,
+    levelize,
+    source_cones,
+)
 from repro.compiler.netlist import ACTION, AND, EXPR, INPUT, OR, REG, Circuit, Net
 
 #: `backend="auto"` picks the levelized plan only while straight-line
@@ -44,6 +49,18 @@ from repro.compiler.netlist import ACTION, AND, EXPR, INPUT, OR, REG, Circuit, N
 #: relaxation blocks, the compiled plan degenerates toward a slow
 #: re-implementation of the worklist and the machine falls back to it.
 AUTO_MAX_CYCLIC_FRACTION = 0.25
+
+#: small-int net-kind codes for the sparse evaluator's dispatch
+KIND_OR, KIND_AND, KIND_EXPR, KIND_ACTION, KIND_REG, KIND_INPUT = range(6)
+
+_KIND_CODE = {
+    OR: KIND_OR,
+    AND: KIND_AND,
+    EXPR: KIND_EXPR,
+    ACTION: KIND_ACTION,
+    REG: KIND_REG,
+    INPUT: KIND_INPUT,
+}
 
 
 class EvalPlan:
@@ -64,6 +81,16 @@ class EvalPlan:
         "dep_ids",
         "source",
         "fn",
+        "kind_code",
+        "rank",
+        "rank_order",
+        "fanout_index",
+        "fanout_ids",
+        "payload_ids",
+        "reg_slot",
+        "latch_of_wire",
+        "cones",
+        "cone_sizes",
     )
 
     def __init__(
@@ -82,6 +109,16 @@ class EvalPlan:
         dep_ids: array,
         source: str,
         fn: Callable[..., bool],
+        kind_code: array,
+        rank: array,
+        rank_order: array,
+        fanout_index: array,
+        fanout_ids: array,
+        payload_ids: Tuple[int, ...],
+        reg_slot: Dict[int, int],
+        latch_of_wire: Dict[int, Tuple[Tuple[int, bool, int], ...]],
+        cones: Optional[Dict[int, int]],
+        cone_sizes: Optional[Dict[int, int]],
     ):
         self.circuit = circuit
         self.levelization = levelization
@@ -97,6 +134,27 @@ class EvalPlan:
         self.dep_ids = dep_ids
         self.source = source
         self.fn = fn
+        #: per-net small-int kind (KIND_OR..KIND_INPUT), for sparse dispatch
+        self.kind_code = kind_code
+        #: per-net position in the straight-line evaluation order
+        self.rank = rank
+        #: net ids in straight-line order (the inverse permutation of
+        #: ``rank``), for the sparse evaluator's tail-scan bailout
+        self.rank_order = rank_order
+        #: CSR forward adjacency (fanins + data deps), for dirty propagation
+        self.fanout_index = fanout_index
+        self.fanout_ids = fanout_ids
+        #: ids of every EXPR/ACTION net (the payload-bearing nets)
+        self.payload_ids = payload_ids
+        #: REG net id -> register state slot
+        self.reg_slot = reg_slot
+        #: register input wire -> ((slot, negated, reg_net_id), ...)
+        self.latch_of_wire = latch_of_wire
+        #: per-source (INPUT/REG) forward cone bitsets; None when the plan
+        #: has relaxation blocks (sparse mode disabled)
+        self.cones = cones
+        #: per-source cone sizes, for the sparse/full threshold decision
+        self.cone_sizes = cone_sizes
 
     # -- selection ----------------------------------------------------------
 
@@ -116,6 +174,13 @@ class EvalPlan:
             self.circuit.nets
         )
 
+    @property
+    def sparse_eligible(self) -> bool:
+        """Can the sparse dirty-cone mode run this plan?  Requires a pure
+        (fully straight-line) plan: relaxation blocks always take the full
+        sweep, so non-pure plans gain nothing from change tracking."""
+        return self.is_pure and self.cones is not None
+
     # -- introspection ------------------------------------------------------
 
     def describe(self) -> Dict[str, int]:
@@ -126,6 +191,44 @@ class EvalPlan:
             "cyclic_nets": self.cyclic_net_count,
             "blocks": len(self.blocks),
         }
+
+    def cone_stats(self) -> Dict[str, float]:
+        """Dirty-cone statistics over the reaction sources (INPUT/REG
+        nets): how much of the circuit one changed source can dirty.
+        Used by ``docs/performance.md`` and the benchmark reports."""
+        if not self.cone_sizes:
+            return {"sources": 0, "mean_cone": 0.0, "max_cone": 0.0,
+                    "mean_cone_fraction": 0.0, "max_cone_fraction": 0.0}
+        sizes = list(self.cone_sizes.values())
+        n = len(self.circuit.nets)
+        return {
+            "sources": len(sizes),
+            "mean_cone": sum(sizes) / len(sizes),
+            "max_cone": float(max(sizes)),
+            "mean_cone_fraction": sum(sizes) / len(sizes) / n,
+            "max_cone_fraction": max(sizes) / n,
+        }
+
+    def memory_estimate(self) -> int:
+        """Rough size in bytes of the shared plan data (CSR arrays, rank
+        and kind tables, cone sizes, the generated source).  This is paid
+        once per compiled module, however many machines share the plan."""
+        import sys
+
+        total = 0
+        for name in ("fanin_index", "fanin_src", "fanin_neg", "dep_index",
+                     "dep_ids", "kind_code", "rank", "rank_order",
+                     "fanout_index", "fanout_ids"):
+            total += sys.getsizeof(getattr(self, name))
+        total += sys.getsizeof(self.source)
+        total += sys.getsizeof(self.payload_ids)
+        total += sys.getsizeof(self.reg_slot)
+        if self.cone_sizes is not None:
+            total += sys.getsizeof(self.cone_sizes)
+        if self.cones is not None:
+            total += sys.getsizeof(self.cones)
+            total += sum(sys.getsizeof(bits) for bits in self.cones.values())
+        return total
 
     def __repr__(self) -> str:
         d = self.describe()
@@ -298,6 +401,39 @@ def build_plan(circuit: Circuit) -> EvalPlan:
     namespace: Dict[str, Any] = {}
     code = compile(source, f"<plan:{circuit.name}>", "exec")
     exec(code, namespace)
+
+    # -- sparse-mode tables -------------------------------------------------
+    kind_code = array("b", (_KIND_CODE[net.kind] for net in circuit.nets))
+    rank = array("l", [0]) * len(circuit.nets)
+    rank_order = array("l", [0]) * len(circuit.nets)
+    position = 0
+    for component in sorted(
+        lev.order, key=lambda comp: (lev.levels[comp[0]], comp[0])
+    ):
+        for net_id in component:
+            rank[net_id] = position
+            rank_order[position] = net_id
+            position += 1
+    edges = combinational_edges(circuit)
+    fanout_index = array("l", [0])
+    fanout_ids = array("l")
+    for net in circuit.nets:
+        fanout_ids.extend(edges[net.id])
+        fanout_index.append(len(fanout_ids))
+    payload_ids = tuple(
+        net.id for net in circuit.nets if net.kind == EXPR or net.kind == ACTION
+    )
+    latch_lists: Dict[int, List[Tuple[int, bool, int]]] = {}
+    for slot, reg in enumerate(registers):
+        src, neg = reg.inputs[0]
+        latch_lists.setdefault(src, []).append((slot, neg, reg.id))
+    latch_of_wire = {wire: tuple(items) for wire, items in latch_lists.items()}
+    cones: Optional[Dict[int, int]] = None
+    cone_sizes: Optional[Dict[int, int]] = None
+    if not blocks:
+        cones = source_cones(circuit)
+        cone_sizes = {src: bits.bit_count() for src, bits in cones.items()}
+
     return EvalPlan(
         circuit,
         lev,
@@ -313,4 +449,14 @@ def build_plan(circuit: Circuit) -> EvalPlan:
         dep_ids,
         source,
         namespace["__plan_react__"],
+        kind_code,
+        rank,
+        rank_order,
+        fanout_index,
+        fanout_ids,
+        payload_ids,
+        reg_slot,
+        latch_of_wire,
+        cones,
+        cone_sizes,
     )

@@ -1,5 +1,6 @@
 """Runtime: the reactive machine and its constructive circuit simulator."""
 
+from repro.runtime.fleet import MachineFleet
 from repro.runtime.machine import ReactiveMachine, ReactionResult
 
-__all__ = ["ReactiveMachine", "ReactionResult"]
+__all__ = ["MachineFleet", "ReactiveMachine", "ReactionResult"]

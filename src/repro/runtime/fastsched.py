@@ -19,13 +19,34 @@ identical signal trace — and the identical
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import CausalityError
 from repro.compiler.netlist import ACTION, AND, EXPR, OR, Net
-from repro.compiler.plan import EvalPlan
+from repro.compiler.plan import (
+    KIND_ACTION,
+    KIND_AND,
+    KIND_EXPR,
+    KIND_INPUT,
+    KIND_OR,
+    KIND_REG,
+    EvalPlan,
+)
 
 UNKNOWN = None
+
+#: the sparse mode falls back to the compiled full straight-line sweep
+#: *before* evaluating anything when the static union dirty cone of the
+#: changed sources covers this fraction of the circuit — at that point
+#: most nets may need recomputing and compiled code wins outright.
+SPARSE_FULL_CONE_FRACTION = 0.9
+
+#: mid-reaction bailout: once the *actually dirty* net count crosses this
+#: fraction of the circuit, the sparse evaluator stops heap-propagating
+#: and finishes the reaction as a straight-line tail scan (the static
+#: cone over-approximates; this bounds the cost when it under-predicted).
+SPARSE_BAILOUT_FRACTION = 0.25
 
 
 class LevelizedScheduler:
@@ -169,3 +190,341 @@ class LevelizedScheduler:
             f"left {len(unresolved)} net(s) undefined (causality cycle)",
             [net.describe() for net in unresolved[:12]],
         )
+
+
+class SparseScheduler(LevelizedScheduler):
+    """Dirty-cone reaction backend: evaluate only what can have changed.
+
+    The full straight-line sweep recomputes every net every reaction,
+    even though in steady state almost nothing changes — a 10k-net Skini
+    score pays the whole circuit to process one audience tap.  This
+    scheduler keeps the previous reaction's net values and re-evaluates
+    only the *dirty cone*:
+
+    * **changed inputs** — INPUT nets whose presence differs from the
+      previous reaction (detected by comparing the input id sets);
+    * **changed registers** — REG nets whose latched state differs from
+      the value they showed last reaction (recorded at latch time);
+    * **hot payloads** — every EXPR/ACTION net whose enable is currently
+      true.  Payloads re-run each instant in the full sweep (they read
+      host state — signal values, ``pre``, frame vars, counters — that
+      can change without any boolean net changing, and ACTION effects
+      must repeat), so sparse mode re-fires exactly the same set.
+
+    Dirty nets are evaluated in the plan's straight-line rank order via
+    a min-heap, and a net's fanout (boolean consumers *and* data-dep
+    readers, from the plan's CSR arrays) joins the heap only when its
+    value actually changed — so work is proportional to real activity,
+    not circuit size.  Payloads fire under exactly the same conditions
+    and in exactly the same order as the full sweep, which makes traces
+    and host-effect interleavings byte-identical (checked by
+    ``tests/test_backend_parity.py``).
+
+    Two fallbacks bound the cost when a lot *did* change.  Statically,
+    when the union forward cone of the changed sources covers more than
+    :data:`SPARSE_FULL_CONE_FRACTION` of the circuit, the reaction takes
+    the compiled full sweep outright.  Dynamically — because static
+    reachability over-approximates (in control-heavy circuits almost
+    every net is reachable from any input, while a typical reaction
+    changes a handful) — the heap loop counts the nets it actually
+    dirtied, and past :data:`SPARSE_BAILOUT_FRACTION` of the circuit it
+    degrades to a straight-line *tail scan* over the remaining ranks.
+    The tail scan, unlike restarting the compiled sweep, is safe after
+    payloads have already fired: every net still gets evaluated exactly
+    once, in the straight-line order.
+
+    Plans with cyclic relaxation blocks always take the full sweep
+    (``plan.sparse_eligible`` is False), so causality errors are reported
+    identically to the levelized backend.  :attr:`last_dirty` exposes the
+    evaluated net ids of the latest reaction (``None`` after a full
+    sweep) — the reactive machine uses it to update signal statuses
+    incrementally.
+    """
+
+    def __init__(self, plan: EvalPlan, host: Any):
+        super().__init__(plan, host)
+        self._sparse_ok = plan.sparse_eligible
+        n = len(plan.circuit.nets)
+        self._full_limit = SPARSE_FULL_CONE_FRACTION * n
+        self._bail_limit = max(int(SPARSE_BAILOUT_FRACTION * n), 64)
+        #: net ids evaluated by the last reaction; None = full sweep
+        self.last_dirty: Optional[List[int]] = None
+        #: INPUT net ids that were present last reaction
+        self._prev_present: set = set()
+        #: REG net ids whose state changed at the last latch
+        self._dirty_regs: List[int] = []
+        #: EXPR/ACTION net ids whose enable is currently true
+        self._hot: set = set()
+        #: heap-membership flags, reused across reactions
+        self._queued = bytearray(n)
+        self._need_full = True
+        #: count of sparse vs full-sweep reactions (introspection)
+        self.sparse_reactions = 0
+        self.full_reactions = 0
+
+    # ------------------------------------------------------------------
+
+    def react(self, input_values: Dict[int, bool]) -> None:
+        if not self._sparse_ok:
+            self.full_reactions += 1
+            self.last_dirty = None
+            super().react(input_values)
+            return
+        present = set(input_values)
+        if self._need_full:
+            self._react_full(input_values, present)
+            return
+        changed_inputs = present.symmetric_difference(self._prev_present)
+        plan = self.plan
+        cone_sizes = plan.cone_sizes
+        estimate = len(self._hot)
+        for net_id in changed_inputs:
+            estimate += cone_sizes[net_id]
+        for net_id in self._dirty_regs:
+            estimate += cone_sizes[net_id]
+        if estimate > self._full_limit:
+            # The cheap sum over-counts shared cone regions; only compute
+            # the exact union (bitset OR) when the sum looks alarming.
+            cones = plan.cones
+            union = 0
+            for net_id in changed_inputs:
+                union |= cones[net_id]
+            for net_id in self._dirty_regs:
+                union |= cones[net_id]
+            if union.bit_count() + len(self._hot) > self._full_limit:
+                self._react_full(input_values, present)
+                return
+        self._need_full = True  # stays set if a payload raises mid-cone
+        self._react_sparse(input_values, changed_inputs)
+        self._prev_present = present
+        self._need_full = False
+        self.sparse_reactions += 1
+
+    def clear_state(self) -> None:
+        super().clear_state()
+        self._need_full = True
+
+    # ------------------------------------------------------------------
+
+    def _react_full(self, input_values: Dict[int, bool], present: set) -> None:
+        """Compiled full sweep, then rebuild the sparse tracking state.
+
+        Unlike the levelized backend the values buffer is *not* blanked:
+        a pure plan assigns every net unconditionally, and between
+        reactions the buffer must keep the previous values for change
+        detection anyway.
+        """
+        self._need_full = True
+        plan = self.plan
+        values = self.values
+        plan.fn(
+            values,
+            self.state,
+            plan.payloads,
+            self.host,
+            input_values.get,
+            self._blocks,
+        )
+        # Registers: the sweep showed V[reg] = old state, then latched the
+        # new state, so a plain compare yields next reaction's dirty set.
+        state = self.state
+        self._dirty_regs = [
+            reg_id
+            for reg_id, slot in plan.reg_slot.items()
+            if state[slot] != values[reg_id]
+        ]
+        # Hot payloads: every EXPR/ACTION whose enable settled true.
+        fanin_index = plan.fanin_index
+        fanin_src = plan.fanin_src
+        fanin_neg = plan.fanin_neg
+        hot = set()
+        for net_id in plan.payload_ids:
+            lo = fanin_index[net_id]
+            if values[fanin_src[lo]] ^ fanin_neg[lo]:
+                hot.add(net_id)
+        self._hot = hot
+        self._prev_present = present
+        self.last_dirty = None
+        self._need_full = False
+        self.full_reactions += 1
+
+    def _react_sparse(self, input_values: Dict[int, bool], changed_inputs: set) -> None:
+        plan = self.plan
+        values = self.values
+        state = self.state
+        rank = plan.rank
+        kind_code = plan.kind_code
+        fanin_index = plan.fanin_index
+        fanin_src = plan.fanin_src
+        fanin_neg = plan.fanin_neg
+        fanout_index = plan.fanout_index
+        fanout_ids = plan.fanout_ids
+        payloads = plan.payloads
+        reg_slot = plan.reg_slot
+        latch_of_wire = plan.latch_of_wire
+        host = self.host
+        hot = self._hot
+        queued = self._queued
+
+        heap: List[Tuple[int, int]] = []
+        for net_id in changed_inputs:
+            queued[net_id] = 1
+            heap.append((rank[net_id], net_id))
+        for net_id in self._dirty_regs:
+            if not queued[net_id]:
+                queued[net_id] = 1
+                heap.append((rank[net_id], net_id))
+        for net_id in hot:
+            if not queued[net_id]:
+                queued[net_id] = 1
+                heap.append((rank[net_id], net_id))
+        heapify(heap)
+
+        dirty_order: List[int] = []
+        pending_latches: List[Tuple[int, Tuple[Tuple[int, bool, int], ...]]] = []
+        bail_limit = self._bail_limit
+        try:
+            while heap:
+                if len(dirty_order) >= bail_limit:
+                    # Too much of the circuit is actually dirty: finish
+                    # the reaction as a straight-line tail scan from the
+                    # next rank on (payloads already fired stay fired and
+                    # every remaining net is evaluated exactly once).
+                    self._tail_scan(
+                        heap[0][0], input_values, dirty_order, pending_latches
+                    )
+                    break
+                _, i = heappop(heap)
+                old = values[i]
+                kind = kind_code[i]
+                if kind == KIND_OR:
+                    new = False
+                    for j in range(fanin_index[i], fanin_index[i + 1]):
+                        if values[fanin_src[j]] ^ fanin_neg[j]:
+                            new = True
+                            break
+                elif kind == KIND_AND:
+                    new = True
+                    for j in range(fanin_index[i], fanin_index[i + 1]):
+                        if not (values[fanin_src[j]] ^ fanin_neg[j]):
+                            new = False
+                            break
+                elif kind == KIND_REG:
+                    new = state[reg_slot[i]]
+                elif kind == KIND_INPUT:
+                    new = i in input_values
+                else:  # KIND_EXPR / KIND_ACTION
+                    lo = fanin_index[i]
+                    if values[fanin_src[lo]] ^ fanin_neg[lo]:
+                        if kind == KIND_EXPR:
+                            new = bool(payloads[i](host))
+                        else:
+                            payloads[i](host)
+                            new = True
+                        hot.add(i)
+                    else:
+                        new = False
+                        hot.discard(i)
+                values[i] = new
+                dirty_order.append(i)
+                if new != old:
+                    for j in range(fanout_index[i], fanout_index[i + 1]):
+                        succ = fanout_ids[j]
+                        if not queued[succ]:
+                            queued[succ] = 1
+                            heappush(heap, (rank[succ], succ))
+                    latches = latch_of_wire.get(i)
+                    if latches is not None:
+                        pending_latches.append((i, latches))
+        finally:
+            for net_id in dirty_order:
+                queued[net_id] = 0
+            for _, net_id in heap:
+                queued[net_id] = 0
+
+        self._latch(pending_latches)
+        self.last_dirty = dirty_order
+
+    def _tail_scan(
+        self,
+        start_rank: int,
+        input_values: Dict[int, bool],
+        dirty_order: List[int],
+        pending_latches: List[Tuple[int, Tuple[Tuple[int, bool, int], ...]]],
+    ) -> None:
+        """Finish a bailed-out sparse reaction: evaluate every net from
+        ``start_rank`` to the end in straight-line order.  All nets below
+        ``start_rank`` are settled (dirty ones were heap-popped in rank
+        order, the rest are unchanged), so this is exactly the tail of
+        the full sweep — same values, same payload firing order."""
+        plan = self.plan
+        values = self.values
+        state = self.state
+        kind_code = plan.kind_code
+        fanin_index = plan.fanin_index
+        fanin_src = plan.fanin_src
+        fanin_neg = plan.fanin_neg
+        payloads = plan.payloads
+        reg_slot = plan.reg_slot
+        latch_of_wire = plan.latch_of_wire
+        rank_order = plan.rank_order
+        host = self.host
+        hot = self._hot
+        for pos in range(start_rank, len(rank_order)):
+            i = rank_order[pos]
+            old = values[i]
+            kind = kind_code[i]
+            if kind == KIND_OR:
+                new = False
+                for j in range(fanin_index[i], fanin_index[i + 1]):
+                    if values[fanin_src[j]] ^ fanin_neg[j]:
+                        new = True
+                        break
+            elif kind == KIND_AND:
+                new = True
+                for j in range(fanin_index[i], fanin_index[i + 1]):
+                    if not (values[fanin_src[j]] ^ fanin_neg[j]):
+                        new = False
+                        break
+            elif kind == KIND_REG:
+                new = state[reg_slot[i]]
+            elif kind == KIND_INPUT:
+                new = i in input_values
+            else:  # KIND_EXPR / KIND_ACTION
+                lo = fanin_index[i]
+                if values[fanin_src[lo]] ^ fanin_neg[lo]:
+                    if kind == KIND_EXPR:
+                        new = bool(payloads[i](host))
+                    else:
+                        payloads[i](host)
+                        new = True
+                    hot.add(i)
+                else:
+                    new = False
+                    hot.discard(i)
+            values[i] = new
+            dirty_order.append(i)
+            if new != old:
+                latches = latch_of_wire.get(i)
+                if latches is not None:
+                    pending_latches.append((i, latches))
+
+    def _latch(
+        self,
+        pending_latches: List[Tuple[int, Tuple[Tuple[int, bool, int], ...]]],
+    ) -> None:
+        # Latch only the registers whose input wire was re-evaluated; all
+        # other wires kept their value, so their registers keep their
+        # state.  Deferred past the evaluation loop so a payload
+        # exception cannot leave the register file half-latched.
+        values = self.values
+        state = self.state
+        dirty_regs: List[int] = []
+        for wire, latches in pending_latches:
+            wire_value = bool(values[wire])
+            for slot, neg, reg_id in latches:
+                new_state = wire_value ^ neg
+                if state[slot] != new_state:
+                    state[slot] = new_state
+                    dirty_regs.append(reg_id)
+        self._dirty_regs = dirty_regs

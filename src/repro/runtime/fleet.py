@@ -1,0 +1,169 @@
+"""Machine fleets: many reactive machines sharing one compiled plan.
+
+The ROADMAP's north-star scenario — thousands of Skini participants or
+multi-tenant login sessions, each an instance of the *same* HipHop
+module — used to pay O(compile) per machine and O(circuit) per reaction.
+:class:`MachineFleet` pairs the structural compile cache
+(:func:`repro.compiler.compile.compile_cached`) with the sparse reaction
+backend so a fleet pays compilation and planning **once**, each member
+only its runtime state (net values, registers, signal slots — see
+``Circuit.per_machine_state_estimate``), and each steady-state reaction
+only its dirty cone.
+
+Typical use::
+
+    from repro import MachineFleet
+
+    fleet = MachineFleet(participant_module, size=1000)
+    fleet.react_all({"tick": True})            # batch-drive every member
+    fleet.react_one(42, {"play": True})        # drive one participant
+    fleet.memory_report()                      # shared vs per-machine split
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
+
+from repro.errors import MachineError
+from repro.lang import ast as A
+from repro.compiler.compile import (
+    CompiledModule,
+    CompileOptions,
+    compile_cached,
+)
+from repro.runtime.machine import ModuleLike, ReactionResult, ReactiveMachine
+
+
+class MachineFleet:
+    """A pool of :class:`~repro.runtime.machine.ReactiveMachine` members
+    built from one shared :class:`~repro.compiler.compile.CompiledModule`.
+
+    Construction compiles (or cache-hits) the module once; every
+    :meth:`spawn` then only allocates per-machine state, making member
+    construction O(state) instead of O(compile).  Members are ordinary
+    machines — they can be driven individually, via the batch helpers
+    here, or handed out to host code.
+    """
+
+    def __init__(
+        self,
+        module: ModuleLike,
+        modules: Optional[A.ModuleTable] = None,
+        options: Optional[CompileOptions] = None,
+        size: int = 0,
+        backend: str = "auto",
+        **machine_kwargs: Any,
+    ):
+        if isinstance(module, CompiledModule):
+            self.compiled = module
+        else:
+            self.compiled = compile_cached(module, modules, options)
+        # Build the shared evaluation plan eagerly so no member pays it.
+        self.plan = self.compiled.evaluation_plan()
+        self.backend = backend
+        self._machine_kwargs = machine_kwargs
+        self._machines: List[ReactiveMachine] = []
+        for _ in range(size):
+            self.spawn()
+
+    # -- membership -----------------------------------------------------
+
+    def spawn(self, **overrides: Any) -> ReactiveMachine:
+        """Add one member (keyword overrides win over the fleet
+        defaults) and return it."""
+        kwargs = {**self._machine_kwargs, **overrides}
+        machine = ReactiveMachine(self.compiled, backend=self.backend, **kwargs)
+        self._machines.append(machine)
+        return machine
+
+    def spawn_many(self, count: int) -> List[ReactiveMachine]:
+        return [self.spawn() for _ in range(count)]
+
+    def __len__(self) -> int:
+        return len(self._machines)
+
+    def __getitem__(self, index: int) -> ReactiveMachine:
+        return self._machines[index]
+
+    def __iter__(self) -> Iterator[ReactiveMachine]:
+        return iter(self._machines)
+
+    # -- batch driving --------------------------------------------------
+
+    def react_all(
+        self, inputs: Optional[Dict[str, Any]] = None
+    ) -> List[ReactionResult]:
+        """One reaction on every member with the same inputs (a broadcast
+        instant — e.g. the Skini musical pulse); returns the results in
+        member order."""
+        shared = inputs or {}
+        return [machine.react(shared) for machine in self._machines]
+
+    def react_one(
+        self, index: int, inputs: Optional[Dict[str, Any]] = None
+    ) -> ReactionResult:
+        """One reaction on member ``index`` only."""
+        try:
+            machine = self._machines[index]
+        except IndexError:
+            raise MachineError(
+                f"fleet has {len(self._machines)} members, no index {index}"
+            ) from None
+        return machine.react(inputs or {})
+
+    def react_each(
+        self, inputs_by_member: Mapping[int, Dict[str, Any]]
+    ) -> Dict[int, ReactionResult]:
+        """One reaction per addressed member (others stay untouched)."""
+        return {
+            index: self.react_one(index, inputs)
+            for index, inputs in inputs_by_member.items()
+        }
+
+    def broadcast(
+        self, make_inputs: Callable[[int, ReactiveMachine], Dict[str, Any]]
+    ) -> List[ReactionResult]:
+        """One reaction on every member with member-specific inputs from
+        ``make_inputs(index, machine)``."""
+        return [
+            machine.react(make_inputs(index, machine))
+            for index, machine in enumerate(self._machines)
+        ]
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        backends: Dict[str, int] = {}
+        for machine in self._machines:
+            backends[machine.backend] = backends.get(machine.backend, 0) + 1
+        return {
+            "members": len(self._machines),
+            "module": self.compiled.module.name,
+            "nets": len(self.compiled.circuit.nets),
+            "backends": backends,
+            "reactions": sum(m.reaction_count for m in self._machines),
+        }
+
+    def memory_report(self) -> Dict[str, Any]:
+        """The shared-plan amortization story in bytes: one circuit and
+        one evaluation plan however many members, plus per-member state."""
+        circuit = self.compiled.circuit
+        shared = circuit.memory_estimate() + self.plan.memory_estimate()
+        per_machine = circuit.per_machine_state_estimate()
+        members = len(self._machines)
+        total = shared + per_machine * members
+        naive = (shared + per_machine) * max(members, 1)
+        return {
+            "members": members,
+            "shared_bytes": shared,
+            "per_machine_bytes": per_machine,
+            "total_bytes": total,
+            "unshared_total_bytes": naive,
+            "amortization": round(naive / total, 2) if total else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MachineFleet({self.compiled.module.name}, "
+            f"{len(self._machines)} members, backend={self.backend!r})"
+        )

@@ -32,13 +32,19 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
 from repro.errors import MachineError, SignalError
 from repro.lang import ast as A
 from repro.lang import expr as E
-from repro.compiler.compile import CompiledModule, CompileOptions, compile_module
+from repro.compiler.compile import CompiledModule, CompileOptions, compile_cached
 from repro.runtime.execblock import ExecFailure, ExecHandle, ExecState
-from repro.runtime.fastsched import LevelizedScheduler
+from repro.runtime.fastsched import LevelizedScheduler, SparseScheduler
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.signal import RuntimeSignal, SignalView
 
-BACKENDS = ("auto", "levelized", "worklist")
+BACKENDS = ("auto", "sparse", "levelized", "worklist")
+
+#: Below this circuit size the compiled full sweep is cheaper than the
+#: sparse mode's per-reaction bookkeeping (heap, dirty sets, incremental
+#: statuses), so ``auto`` keeps small machines on the levelized backend.
+#: Measured crossover on steady-state Skini scores is ~250 nets.
+SPARSE_MIN_NETS = 256
 
 
 class ReactionResult(Mapping):
@@ -48,14 +54,24 @@ class ReactionResult(Mapping):
     def __init__(
         self,
         emitted: Dict[str, Any],
-        statuses: Dict[str, bool],
+        statuses: Union[Dict[str, bool], Callable[[], Dict[str, bool]]],
         terminated: bool,
         paused: bool,
     ):
         self._emitted = emitted
-        self.statuses = statuses
+        # Either the statuses dict itself, or a zero-arg factory building
+        # it on first access — the sparse backend defers the O(interface)
+        # dict so a steady-state reaction that nobody inspects stays
+        # proportional to activity, not interface size.
+        self._statuses = statuses
         self.terminated = terminated
         self.paused = paused
+
+    @property
+    def statuses(self) -> Dict[str, bool]:
+        if callable(self._statuses):
+            self._statuses = self._statuses()
+        return self._statuses
 
     def __getitem__(self, name: str) -> Any:
         return self._emitted[name]
@@ -148,7 +164,9 @@ class ReactiveMachine:
         if isinstance(module, CompiledModule):
             self.compiled = module
         else:
-            self.compiled = compile_module(module, modules, options)
+            # Raw modules go through the structural compile cache: building
+            # N machines of one module compiles (and plans) once.
+            self.compiled = compile_cached(module, modules, options)
         self.module = self.compiled.module
         self.name = self.module.name
         self.host_globals: Dict[str, Any] = dict(host_globals or {})
@@ -157,16 +175,34 @@ class ReactiveMachine:
         self._loop = loop
 
         circuit = self.compiled.circuit
-        #: which reaction backend runs this machine ("levelized" or
-        #: "worklist"); `backend="auto"` picks the levelized plan when the
-        #: circuit is straight-line dominated and the worklist otherwise
+        #: which reaction backend runs this machine ("sparse", "levelized"
+        #: or "worklist"); `backend="auto"` picks sparse dirty-cone
+        #: evaluation for pure straight-line plans, the levelized full
+        #: sweep while straight-line statements dominate, and the worklist
+        #: otherwise
         self.backend = self._select_backend(backend)
-        if self.backend == "levelized":
+        if self.backend == "sparse":
+            self._scheduler = SparseScheduler(
+                self.compiled.evaluation_plan(), self
+            )
+        elif self.backend == "levelized":
             self._scheduler = LevelizedScheduler(
                 self.compiled.evaluation_plan(), self
             )
         else:
             self._scheduler = Scheduler(circuit, self)
+        self._sparse = self.backend == "sparse"
+        # Incremental signal bookkeeping (sparse backend): the slots whose
+        # RuntimeSignal is not inert (needs begin_instant), the slots
+        # currently present, and the slots written during this reaction.
+        self._active_slots: set = set()
+        self._present_slots: set = set()
+        self._touched_slots: set = set()
+        (
+            self._status_slot_of_net,
+            self._iface_slots,
+            self._out_name_of_slot,
+        ) = self._signal_maps()
         self._signals: List[RuntimeSignal] = [
             RuntimeSignal(
                 info.slot,
@@ -205,12 +241,34 @@ class ReactiveMachine:
             raise MachineError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
-        if backend == "worklist":
-            return "worklist"
-        if backend == "levelized":
-            return "levelized"
+        if backend != "auto":
+            return backend
         plan = self.compiled.evaluation_plan()
+        if plan.sparse_eligible and len(plan.circuit.nets) >= SPARSE_MIN_NETS:
+            return "sparse"
         return "levelized" if plan.auto_eligible else "worklist"
+
+    def _signal_maps(self) -> tuple:
+        """Shared (per compiled module) signal lookup tables: status-net
+        id → slot, interface (name, slot) pairs, and slot → output name
+        for the out/inout interface signals."""
+        maps = self.compiled._signal_maps
+        if maps is None:
+            circuit = self.compiled.circuit
+            status_slot_of_net = {
+                info.status_net.id: info.slot for info in circuit.signals
+            }
+            iface_slots = tuple(
+                (name, info.slot) for name, info in circuit.interface.items()
+            )
+            out_name_of_slot = {
+                info.slot: name
+                for name, info in circuit.interface.items()
+                if info.direction in ("out", "inout")
+            }
+            maps = (status_slot_of_net, iface_slots, out_name_of_slot)
+            self.compiled._signal_maps = maps
+        return maps
 
     def _resolve_combine(self, combine: Any, signal_name: str) -> Any:
         """Combine functions declared textually (``combine fname``) resolve
@@ -271,6 +329,8 @@ class ReactiveMachine:
         return result
 
     def _react_once(self, inputs: Dict[str, Any]) -> ReactionResult:
+        if self._sparse:
+            return self._react_once_sparse(inputs)
         circuit = self.compiled.circuit
         input_values: Dict[int, bool] = {}
 
@@ -325,6 +385,161 @@ class ReactiveMachine:
                 listener(value)
         return result
 
+    def _react_once_sparse(self, inputs: Dict[str, Any]) -> ReactionResult:
+        """The sparse backend's reaction: identical semantics to
+        :meth:`_react_once`, but every per-signal step walks only the
+        *active* signals (written, present, or carrying rolled-over
+        state) rather than the whole interface, so a steady-state
+        reaction costs O(activity) end to end.
+        """
+        circuit = self.compiled.circuit
+        signals = self._signals
+        input_values: Dict[int, bool] = {}
+        touched = self._touched_slots
+        touched.clear()
+
+        # begin_instant is a no-op on an inert signal (now/pre False, no
+        # emissions, nowval already rolled into preval), and every
+        # non-inert signal is in the active set by construction.
+        for slot in self._active_slots:
+            signals[slot].begin_instant()
+
+        for name, value in inputs.items():
+            info = circuit.interface.get(name)
+            if info is None or info.input_net is None:
+                valid = sorted(
+                    k for k, v in circuit.interface.items() if v.input_net is not None
+                )
+                raise MachineError(
+                    f"unknown input signal {name!r}; machine inputs: {valid}"
+                )
+            input_values[info.input_net.id] = True
+            signals[info.slot].write(value)
+            touched.add(info.slot)
+
+        for state in self._execs:
+            if state.running and state.pending:
+                info = circuit.execs[state.slot]
+                input_values[info.done_net.id] = True
+
+        self._reacting = True
+        try:
+            self._scheduler.react(input_values)
+        finally:
+            self._reacting = False
+
+        values = self._scheduler.values
+        dirty = self._scheduler.last_dirty
+        if dirty is None:
+            # Full sweep (first reaction, large cone, or fallback plan):
+            # classic post-processing, rebuilding the tracking sets.
+            return self._finish_full_sweep(values)
+
+        # Statuses: only signals whose status net was re-evaluated can
+        # have changed; everything else keeps last reaction's presence.
+        status_slot_of_net = self._status_slot_of_net
+        present = self._present_slots
+        updated: set = set()
+        for net_id in dirty:
+            slot = status_slot_of_net.get(net_id)
+            if slot is not None:
+                updated.add(slot)
+                if values[net_id]:
+                    signals[slot].now = True
+                    present.add(slot)
+                else:
+                    signals[slot].now = False
+                    present.discard(slot)
+        for slot in present:
+            # Sustained signals: present before, status net untouched this
+            # reaction (so still present), but begin_instant cleared `now`.
+            if slot not in updated:
+                signals[slot].now = True
+
+        # Refresh the active set: only previously-active, written, or
+        # status-updated slots can have become (or stayed) non-inert.
+        candidates = self._active_slots
+        candidates |= touched
+        candidates |= updated
+        active: set = set()
+        for slot in candidates:
+            signal = signals[slot]
+            if (
+                signal.now
+                or signal.pre
+                or signal.emitted
+                or signal.nowval is not signal.preval
+            ):
+                active.add(slot)
+        self._active_slots = active
+
+        emitted: Dict[str, Any] = {}
+        out_name_of_slot = self._out_name_of_slot
+        for slot in sorted(present):
+            name = out_name_of_slot.get(slot)
+            if name is not None:
+                emitted[name] = signals[slot].nowval
+
+        self.reaction_count += 1
+        if values[circuit.k0_net.id]:
+            self.terminated = True
+        snapshot = frozenset(present)
+        iface_slots = self._iface_slots
+        result = ReactionResult(
+            emitted,
+            lambda: {name: (slot in snapshot) for name, slot in iface_slots},
+            self.terminated,
+            bool(values[circuit.k1_net.id]),
+        )
+
+        for name, value in emitted.items():
+            for listener in self._listeners.get(name, ()):
+                listener(value)
+        return result
+
+    def _finish_full_sweep(self, values: List[Optional[bool]]) -> ReactionResult:
+        """Post-reaction bookkeeping after a full sweep on the sparse
+        backend: same as the classic path, plus a rebuild of the
+        present/active tracking sets from scratch."""
+        circuit = self.compiled.circuit
+        signals = self._signals
+        present: set = set()
+        active: set = set()
+        for info in circuit.signals:
+            slot = info.slot
+            signal = signals[slot]
+            signal.now = now = bool(values[info.status_net.id])
+            if now:
+                present.add(slot)
+            if (
+                now
+                or signal.pre
+                or signal.emitted
+                or signal.nowval is not signal.preval
+            ):
+                active.add(slot)
+        self._present_slots = present
+        self._active_slots = active
+
+        emitted: Dict[str, Any] = {}
+        statuses: Dict[str, bool] = {}
+        for name, info in circuit.interface.items():
+            signal = signals[info.slot]
+            statuses[name] = signal.now
+            if info.direction in ("out", "inout") and signal.now:
+                emitted[name] = signal.nowval
+
+        self.reaction_count += 1
+        if values[circuit.k0_net.id]:
+            self.terminated = True
+        result = ReactionResult(
+            emitted, statuses, self.terminated, bool(values[circuit.k1_net.id])
+        )
+        for name, value in emitted.items():
+            for listener in self._listeners.get(name, ()):
+                listener(value)
+        return result
+
     def queue_react(self, inputs: Dict[str, Any]) -> None:
         """Queue a reaction (callable from anywhere, including from inside
         async bodies during a reaction)."""
@@ -349,6 +564,9 @@ class ReactiveMachine:
             signal.now = signal.pre = False
             signal.nowval = signal.preval = None
             signal.emitted = 0
+        self._active_slots = set()
+        self._present_slots = set()
+        self._touched_slots = set()
         self.frame = {}
         self.terminated = False
         self.reaction_count = 0
@@ -395,9 +613,11 @@ class ReactiveMachine:
 
     def emit_value(self, slot: int, value: Any) -> None:
         self._signals[slot].write(value)
+        self._touched_slots.add(slot)
 
     def init_signal(self, slot: int, value: Any) -> None:
         self._signals[slot].initialize(value)
+        self._touched_slots.add(slot)
 
     def arm_counter(self, slot: int, value: int) -> None:
         self._counters[slot] = max(1, int(value))
@@ -444,6 +664,7 @@ class ReactiveMachine:
         info = self.compiled.circuit.execs[slot]
         if info.signal is not None:
             self._signals[info.signal.slot].write(state.pending_value)
+            self._touched_slots.add(info.signal.slot)
         state.stop()
 
     def notify_exec(self, slot: int, generation: int, value: Any) -> None:

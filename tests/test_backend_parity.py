@@ -1,13 +1,18 @@
-"""Backend equivalence: the levelized straight-line plan against the
-worklist scheduler.
+"""Backend equivalence: the levelized straight-line plan and the sparse
+dirty-cone evaluator against the worklist scheduler.
 
-The levelized backend (``docs/performance.md``) must be observationally
-indistinguishable from the worklist: identical signal traces on random
-constructive programs, identical termination/pause status, and identical
+Both fast backends (``docs/performance.md``) must be observationally
+indistinguishable from the worklist: identical signal traces, statuses
+and ``pre``/``now`` values on random constructive programs, identical
+termination/pause status, and identical
 :class:`~repro.errors.CausalityError` reporting (message *and* offending
-net list) on non-constructive ones.  The paper apps double as end-to-end
-parity fixtures, and the ``auto`` policy is pinned: levelized for all
-three apps, worklist fallback for heavily cyclic circuits.
+net list) on non-constructive ones.  Every random trace is replayed with
+each step doubled, so the sparse mode is exercised on reactions with
+*zero* changed inputs (the pure change-propagation path).  The paper
+apps double as end-to-end parity fixtures, and the ``auto`` policy is
+pinned: sparse for large acyclic circuits (>= ``SPARSE_MIN_NETS``),
+levelized for small acyclic ones and the (cyclic-but-constructive)
+pillbox, worklist fallback for heavily cyclic circuits.
 """
 
 import pytest
@@ -20,6 +25,8 @@ from repro.apps.skini import Audience, Performance, make_paper_score
 from repro.host import AuthService, SimulatedLoop
 from tests.strategies import input_traces, pure_modules
 
+BACKENDS = ("worklist", "levelized", "sparse")
+
 _SETTINGS = dict(
     max_examples=150,
     deadline=None,
@@ -29,42 +36,59 @@ _SETTINGS = dict(
 
 def _run(module, trace, backend):
     machine = ReactiveMachine(module, backend=backend)
+    iface = sorted(machine.compiled.circuit.interface)
     outputs = []
     for step in trace:
         result = machine.react({name: True for name in step})
-        outputs.append((frozenset(result), result.paused, result.terminated))
+        signals = tuple(
+            (name, view.now, view.pre, view.nowval, view.preval)
+            for name in iface
+            for view in (machine.signal(name),)
+        )
+        outputs.append(
+            (
+                dict(result),
+                dict(result.statuses),
+                signals,
+                result.paused,
+                result.terminated,
+            )
+        )
         if machine.terminated:
             break
     return outputs
 
 
+def _observe(module, trace, backend):
+    """Run and capture either the full observation list or the causality
+    error, so error reporting is compared exactly like traces."""
+    try:
+        return _run(module, trace, backend), None
+    except CausalityError as e:
+        return None, (str(e), tuple(e.nets))
+
+
 @settings(**_SETTINGS)
 @given(pure_modules(), input_traces())
 def test_backends_agree_on_random_programs(module, trace):
-    """Signal traces, pause/termination flags, and causality errors must
-    be identical between the two backends on arbitrary programs."""
-    try:
-        worklist = _run(module, trace, "worklist")
-        worklist_error = None
-    except CausalityError as e:
-        worklist = None
-        worklist_error = (str(e), tuple(e.nets))
-
-    try:
-        levelized = _run(module, trace, "levelized")
-        levelized_error = None
-    except CausalityError as e:
-        levelized = None
-        levelized_error = (str(e), tuple(e.nets))
-
-    assert worklist_error == levelized_error, (
-        f"causality reporting diverged\n{module.body!r}\n{trace}\n"
-        f"worklist={worklist_error}\nlevelized={levelized_error}"
-    )
-    assert worklist == levelized, (
-        f"trace divergence\n{module.body!r}\ninputs={trace}\n"
-        f"worklist={worklist}\nlevelized={levelized}"
-    )
+    """Signal traces, statuses, pre/now values, pause/termination flags,
+    and causality errors must be identical across all three backends —
+    including on doubled traces, where every other reaction repeats the
+    previous instant's inputs (zero changed inputs for the sparse mode).
+    """
+    doubled = [step for step in trace for _ in (0, 1)]
+    for inputs in (trace, doubled):
+        reference, reference_error = _observe(module, inputs, "worklist")
+        for backend in ("levelized", "sparse"):
+            observed, observed_error = _observe(module, inputs, backend)
+            assert reference_error == observed_error, (
+                f"causality reporting diverged ({backend})\n{module.body!r}\n"
+                f"{inputs}\nworklist={reference_error}\n{backend}={observed_error}"
+            )
+            assert reference == observed, (
+                f"trace divergence ({backend})\n{module.body!r}\ninputs={inputs}\n"
+                f"worklist={reference}\n{backend}={observed}"
+            )
 
 
 class TestAutoPolicy:
@@ -79,7 +103,29 @@ class TestAutoPolicy:
         machine = ReactiveMachine(module)  # backend="auto"
         assert machine.backend == "worklist"
 
-    def test_cyclic_program_same_error_both_backends(self):
+    def test_small_acyclic_program_stays_levelized(self):
+        """Sparse-eligible but tiny: the full sweep is cheaper than the
+        sparse bookkeeping, so ``auto`` applies the SPARSE_MIN_NETS floor
+        (the sparse backend itself still works when asked for)."""
+        module = parse_module("module M(in I, out X) { if (I.now) { emit X } }")
+        machine = ReactiveMachine(module)  # backend="auto"
+        assert machine.compiled.evaluation_plan().sparse_eligible
+        assert machine.backend == "levelized"
+        explicit = ReactiveMachine(module, backend="sparse")
+        assert explicit.backend == "sparse"
+        assert dict(explicit.react({"I": True})) == dict(
+            ReactiveMachine(module, backend="worklist").react({"I": True})
+        )
+
+    def test_large_acyclic_program_picks_sparse(self):
+        from repro.apps.skini import make_large_score
+
+        score = make_large_score(sections=4, groups_per_section=5, patterns_per_group=6)
+        perf = Performance(score, Audience(size=0))  # backend="auto"
+        assert perf.machine.backend == "sparse"
+        assert perf.machine.compiled.evaluation_plan().sparse_eligible
+
+    def test_cyclic_program_same_error_all_backends(self):
         module = parse_module(
             """
             module M(out X) {
@@ -88,12 +134,12 @@ class TestAutoPolicy:
             """
         )
         errors = {}
-        for backend in ("worklist", "levelized"):
+        for backend in BACKENDS:
             machine = ReactiveMachine(module, backend=backend)
             with pytest.raises(CausalityError) as info:
                 machine.react({})
             errors[backend] = (str(info.value), tuple(info.value.nets))
-        assert errors["worklist"] == errors["levelized"]
+        assert errors["worklist"] == errors["levelized"] == errors["sparse"]
 
     def test_unknown_backend_rejected(self):
         module = parse_module("module M(out X) { emit X }")
@@ -146,23 +192,28 @@ def _skini_trace(backend):
 
 
 class TestPaperAppParity:
-    """The three paper apps, replayed on both backends, must agree
-    event-for-event; under ``auto`` all three must pick levelized."""
+    """The three paper apps, replayed on every backend, must agree
+    event-for-event; under ``auto`` these small circuits all stay on a
+    full-sweep backend (levelized), and the explicit sparse replays must
+    still match event-for-event."""
 
     def test_login(self):
         worklist = _login_trace("worklist")
         auto = _login_trace("auto")
+        sparse = _login_trace("sparse")
         assert auto[0] == "levelized"
-        assert worklist[1:] == auto[1:]
+        assert worklist[1:] == auto[1:] == sparse[1:]
 
     def test_pillbox(self):
         worklist = _pillbox_trace("worklist")
         auto = _pillbox_trace("auto")
+        sparse = _pillbox_trace("sparse")
         assert auto[0] == "levelized"
-        assert worklist[1:] == auto[1:]
+        assert worklist[1:] == auto[1:] == sparse[1:]
 
     def test_skini(self):
         worklist = _skini_trace("worklist")
         auto = _skini_trace("auto")
-        assert auto[0] == "levelized"
-        assert worklist[1:] == auto[1:]
+        sparse = _skini_trace("sparse")
+        assert auto[0] == "levelized"  # the paper score is only ~80 nets
+        assert worklist[1:] == auto[1:] == sparse[1:]
