@@ -1,0 +1,211 @@
+"""R2 — durable recovery on the largest Skini score (snapshot + restore
++ journal replay).
+
+A reactive machine's between-instant state is tiny (registers + signal
+``pre`` values + exec bookkeeping), so checkpoints are cheap; recovery
+cost is dominated by replaying the journal tail, at roughly one
+steady-state reaction per journaled instant.  Bounded-tail checkpointing
+(``checkpoint_every``) is therefore what makes recovery constant-time.
+Three measurements land in BENCH_recovery.json:
+
+* ``snapshot``: snapshot / JSON round-trip / restore cost and payload
+  size for the large-score machine;
+* ``replay``: deterministic replay of 100 journaled instants onto a
+  fresh machine — byte-identical final snapshot, cost recorded per
+  instant;
+* ``recovery`` (gated): crash at the worst point of a supervised run —
+  just before the next checkpoint, so the journal tail is as long as it
+  ever gets — and recover onto a fresh machine.  The gate is
+  ``restore + tail replay < 50× one steady-state reaction``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro import MachineSupervisor, MemoryJournal, ReactiveMachine
+from repro.apps.skini import make_large_score
+from repro.apps.skini.score import generate_score_module
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_recovery.json"
+
+INSTANTS = 100
+CHECKPOINT_EVERY = 10
+RECOVERY_GATE = 50.0
+
+
+def _update_bench_json(section, payload):
+    """Merge one section into BENCH_recovery.json (tests may run alone)."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _score_builder():
+    """A zero-argument constructor for the largest Skini score machine
+    (same construction as bench_fleet / report E5)."""
+    score = make_large_score(sections=8, groups_per_section=5, patterns_per_group=6)
+    module, table = generate_score_module(score)
+
+    def build():
+        return ReactiveMachine(
+            module,
+            modules=table,
+            host_globals={"andBool": lambda a, b: bool(a and b)},
+        )
+
+    return build
+
+
+def _tick(machine):
+    n = machine.reaction_count
+    return {"seconds": n, "second": True}
+
+
+def _settle(machine, instants=10):
+    machine.react({})
+    for _ in range(instants):
+        machine.react(_tick(machine))
+
+
+def _steady_ms(machine, rounds=40):
+    samples = []
+    for _ in range(rounds):
+        inputs = _tick(machine)
+        start = time.perf_counter()
+        machine.react(inputs)
+        samples.append((time.perf_counter() - start) * 1000.0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def _state_digest(machine):
+    return json.dumps(machine.snapshot(), sort_keys=True)
+
+
+def test_snapshot_restore_round_trip_cost():
+    """Checkpointing the largest score machine: snapshot, serialize to
+    JSON, restore onto a fresh machine — state byte-identical."""
+    build = _score_builder()
+    machine = build()
+    _settle(machine)
+    steady = _steady_ms(machine)
+
+    start = time.perf_counter()
+    snap = machine.snapshot()
+    snapshot_ms = (time.perf_counter() - start) * 1000.0
+    payload = json.dumps(snap)
+
+    fresh = build()
+    start = time.perf_counter()
+    fresh.restore(json.loads(payload))
+    restore_ms = (time.perf_counter() - start) * 1000.0
+    assert _state_digest(fresh) == _state_digest(machine)
+
+    _update_bench_json(
+        "snapshot",
+        {
+            "workload": "skini-large-score",
+            "nets": machine.stats()["nets"],
+            "payload_bytes": len(payload),
+            "snapshot_ms": round(snapshot_ms, 4),
+            "restore_ms": round(restore_ms, 4),
+            "steady_reaction_ms": round(steady, 4),
+        },
+    )
+
+
+def test_replay_100_instants_byte_identical():
+    """Deterministic replay: 100 journaled instants re-run on a fresh
+    machine land on a byte-identical snapshot.  Cost is linear in the
+    tail length — the reason periodic checkpoints truncate it."""
+    build = _score_builder()
+    machine = build()
+    journal = MemoryJournal()
+    machine.attach_journal(journal)
+    _settle(machine)
+    base = machine.snapshot()
+    journal.truncate(base["reaction_count"])
+    for _ in range(INSTANTS):
+        machine.react(_tick(machine))
+    steady = _steady_ms(machine)
+    reference = _state_digest(machine)
+    entries = journal.entries(base["reaction_count"])[:INSTANTS]
+    assert len(entries) == INSTANTS
+
+    fresh = build()
+    start = time.perf_counter()
+    fresh.restore(base)
+    fresh.replay(entries)
+    replay_ms = (time.perf_counter() - start) * 1000.0
+
+    fresh.replay(journal.entries(base["reaction_count"] + INSTANTS))
+    assert _state_digest(fresh) == reference
+
+    _update_bench_json(
+        "replay",
+        {
+            "instants": INSTANTS,
+            "replay_ms": round(replay_ms, 4),
+            "per_instant_us": round(1000.0 * replay_ms / INSTANTS, 2),
+            "per_instant_vs_steady": round(replay_ms / INSTANTS / steady, 2),
+        },
+    )
+
+
+def test_checkpointed_recovery_within_reaction_budget():
+    """The gate: supervised run with ``checkpoint_every=10``, crash just
+    before the next checkpoint (worst-case journal tail), recover onto a
+    fresh machine.  Recovery (restore + tail replay) must cost less than
+    50× one steady-state reaction."""
+    build = _score_builder()
+    reference_machine = build()
+    _settle(reference_machine)
+    steady = _steady_ms(reference_machine)
+
+    supervisor = MachineSupervisor(build(), checkpoint_every=CHECKPOINT_EVERY)
+    supervisor.react({})
+    for _ in range(INSTANTS):
+        supervisor.react(_tick(supervisor.machine))
+    # crash at the worst point: just before the next checkpoint
+    while (
+        len(supervisor.journal.entries(supervisor.last_checkpoint["reaction_count"]))
+        < CHECKPOINT_EVERY - 1
+    ):
+        supervisor.react(_tick(supervisor.machine))
+    tail = len(supervisor.journal.entries(supervisor.last_checkpoint["reaction_count"]))
+    reference = _state_digest(supervisor.machine)
+
+    samples = []
+    for _ in range(15):
+        fresh = build()
+        start = time.perf_counter()
+        supervisor.recover(fresh)
+        samples.append((time.perf_counter() - start) * 1000.0)
+        assert _state_digest(fresh) == reference
+    samples.sort()
+    recovery_ms = samples[len(samples) // 2]
+    ratio = recovery_ms / steady
+
+    _update_bench_json(
+        "recovery",
+        {
+            "workload": "skini-large-score-supervised",
+            "instants": INSTANTS,
+            "checkpoint_every": CHECKPOINT_EVERY,
+            "journal_tail": tail,
+            "recovery_ms": round(recovery_ms, 4),
+            "steady_reaction_ms": round(steady, 4),
+            "ratio": round(ratio, 2),
+            "gate": RECOVERY_GATE,
+        },
+    )
+    assert ratio < RECOVERY_GATE, (
+        f"recovery {recovery_ms:.3f} ms is {ratio:.1f}x one steady-state "
+        f"reaction ({steady:.4f} ms); gate {RECOVERY_GATE:.0f}x"
+    )

@@ -286,6 +286,34 @@ def r1():
     print(f"  overhead:        {overhead:8.1%} (budget 10%)")
 
 
+def r2():
+    print("\nR2 - durable recovery (snapshot/restore + journal tail replay)")
+    from bench_recovery import (
+        BENCH_JSON as BENCH_RECOVERY_JSON,
+    )
+    from bench_recovery import (
+        test_checkpointed_recovery_within_reaction_budget,
+        test_replay_100_instants_byte_identical,
+        test_snapshot_restore_round_trip_cost,
+    )
+
+    test_snapshot_restore_round_trip_cost()
+    test_replay_100_instants_byte_identical()
+    test_checkpointed_recovery_within_reaction_budget()
+    data = json.loads(BENCH_RECOVERY_JSON.read_text())
+    snap, replay, rec = data["snapshot"], data["replay"], data["recovery"]
+    print(f"  checkpoint: snapshot {snap['snapshot_ms']:.3f} ms, restore "
+          f"{snap['restore_ms']:.3f} ms, payload {snap['payload_bytes']/1024:.1f} KB "
+          f"({snap['nets']} nets)")
+    print(f"  replay {replay['instants']} instants: {replay['replay_ms']:.2f} ms "
+          f"({replay['per_instant_us']:.1f} us/instant, "
+          f"{replay['per_instant_vs_steady']:.1f}x one steady reaction)")
+    print(f"  recovery (journal tail {rec['journal_tail']}, checkpoint_every "
+          f"{rec['checkpoint_every']}): {rec['recovery_ms']:.3f} ms = "
+          f"{rec['ratio']:.1f}x one steady reaction (gate {rec['gate']:.0f}x)")
+    print(f"  wrote {BENCH_RECOVERY_JSON.name}")
+
+
 def a1():
     print("\nA1 - optimizer ablation (nets raw -> optimized)")
     from repro.apps.login import login_table
@@ -316,4 +344,5 @@ if __name__ == "__main__":
     e7()
     f1()
     r1()
+    r2()
     a1()

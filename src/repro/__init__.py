@@ -24,12 +24,15 @@ Quickstart::
 from repro.errors import (
     CausalityError,
     CompileError,
+    CrashError,
+    FleetReactionError,
     HipHopError,
     LinkError,
     MachineError,
     MultipleEmitError,
     ParseError,
     SignalError,
+    SnapshotError,
     ValidationError,
 )
 from repro.lang import ast, dsl, expr
@@ -42,7 +45,15 @@ from repro.compiler import (
     compile_cached,
     compile_module,
 )
-from repro.runtime import MachineFleet, ReactionResult, ReactiveMachine
+from repro.runtime import (
+    FileJournal,
+    FleetSupervisor,
+    MachineFleet,
+    MachineSupervisor,
+    MemoryJournal,
+    ReactionResult,
+    ReactiveMachine,
+)
 from repro.syntax import parse_expression, parse_module, parse_program, parse_statement
 
 __version__ = "1.0.0"
@@ -51,6 +62,10 @@ __all__ = [
     "ReactiveMachine",
     "ReactionResult",
     "MachineFleet",
+    "MachineSupervisor",
+    "FleetSupervisor",
+    "MemoryJournal",
+    "FileJournal",
     "Module",
     "ModuleTable",
     "SignalDecl",
@@ -76,5 +91,8 @@ __all__ = [
     "SignalError",
     "MultipleEmitError",
     "MachineError",
+    "SnapshotError",
+    "FleetReactionError",
+    "CrashError",
     "__version__",
 ]

@@ -17,6 +17,7 @@ from repro.apps.skini.score import (
 from repro.apps.skini.participant import (
     PARTICIPANT_PROGRAM,
     make_audience_fleet,
+    make_supervised_audience,
     participant_module,
 )
 from repro.apps.skini.performance import Audience, Performance
@@ -42,4 +43,5 @@ __all__ = [
     "PARTICIPANT_PROGRAM",
     "participant_module",
     "make_audience_fleet",
+    "make_supervised_audience",
 ]

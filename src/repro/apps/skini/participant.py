@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.lang.ast import Module
 from repro.runtime.fleet import MachineFleet
+from repro.runtime.recovery import FleetSupervisor
 from repro.syntax import parse_module
 
 #: One audience member.  `select` carries the pattern the participant
@@ -60,3 +61,30 @@ def participant_module() -> Module:
 def make_audience_fleet(size: int, backend: str = "auto", **kwargs) -> MachineFleet:
     """A fleet of ``size`` participant machines sharing one compiled plan."""
     return MachineFleet(participant_module(), size=size, backend=backend, **kwargs)
+
+
+def make_supervised_audience(
+    size: int,
+    backend: str = "auto",
+    checkpoint_every: Optional[int] = 25,
+    max_retries: int = 1,
+    quarantine_after: int = 3,
+    **kwargs,
+) -> FleetSupervisor:
+    """The durable concert: an audience fleet wrapped in a
+    :class:`~repro.runtime.recovery.FleetSupervisor`.
+
+    Each participant gets its own write-ahead journal and a checkpoint
+    every ``checkpoint_every`` instants, so one crashing phone (or one
+    poison input — quarantined after ``quarantine_after`` identical
+    failures) never stalls the conductor's pulse: ``react_all`` always
+    completes the instant for the healthy members, and a crashed member
+    is recovered exactly — same pattern queue, same play state — from
+    its snapshot + journal tail.
+    """
+    return FleetSupervisor(
+        make_audience_fleet(size, backend=backend, **kwargs),
+        checkpoint_every=checkpoint_every,
+        max_retries=max_retries,
+        quarantine_after=quarantine_after,
+    )

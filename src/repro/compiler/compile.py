@@ -56,6 +56,12 @@ class CompiledModule:
     #: lazily-built signal lookup tables (status-net → slot etc.), shared
     #: by every machine; see ``ReactiveMachine._signal_maps``
     _signal_maps: Optional[tuple] = field(default=None, repr=False, compare=False)
+    #: structural compile fingerprint (the compile-cache key: sha256 of the
+    #: pretty-printed sources + embedded callable ids + options), used to
+    #: stamp machine snapshots so they refuse to restore onto a
+    #: structurally different program.  Unrenderable modules fall back to
+    #: a circuit-shape digest.
+    fingerprint: str = ""
 
     def stats(self):
         return self.circuit.stats()
@@ -96,7 +102,31 @@ def compile_module(
     warnings: List[str] = []
     if options.check_cycles:
         warnings = cycle_warnings(circuit)
-    return CompiledModule(module, circuit, list(frame_vars), warnings, kernel)
+    compiled = CompiledModule(module, circuit, list(frame_vars), warnings, kernel)
+    compiled.fingerprint = (
+        _structural_key(module, modules, options) or _shape_fingerprint(circuit)
+    )
+    return compiled
+
+
+def _shape_fingerprint(circuit: Circuit) -> str:
+    """Fallback snapshot fingerprint for unrenderable modules: a digest of
+    the circuit shape (net kinds and fanin arities, interface, state
+    slots).  Weaker than the structural key — it cannot see host callables
+    — but still rejects restores across structurally different circuits."""
+    digest = hashlib.sha256(b"circuit-shape\x00")
+    digest.update(circuit.name.encode())
+    for net in circuit.nets:
+        digest.update(
+            f"{getattr(net, 'kind', '?')}:{len(getattr(net, 'inputs', ()))};".encode()
+        )
+    for name, info in sorted(circuit.interface.items()):
+        digest.update(f"\x00{name}:{info.direction}".encode())
+    digest.update(
+        f"\x00{len(circuit.signals)}\x00{len(circuit.execs)}"
+        f"\x00{len(circuit.counters)}".encode()
+    )
+    return "shape:" + digest.hexdigest()
 
 
 # ---------------------------------------------------------------------------

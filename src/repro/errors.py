@@ -103,6 +103,39 @@ class MachineError(HipHopError):
     providing unknown input signal names, ...)."""
 
 
+class SnapshotError(MachineError):
+    """A machine snapshot could not be taken or restored: snapshot
+    requested mid-reaction, malformed payload, or a compile-fingerprint
+    mismatch (restoring onto a structurally different program)."""
+
+
+class FleetReactionError(MachineError):
+    """One or more fleet members failed during a batch instant.
+
+    The batch is *completed* for every healthy member before this is
+    raised, so the fleet is never left half-advanced within one logical
+    instant.
+
+    :param completed: indices of the members whose reaction succeeded.
+    :param failures: mapping of member index to the exception it raised.
+    :param results: per-member results in member order (``None`` at the
+        failed indices); a dict for ``react_each`` batches.
+    """
+
+    def __init__(self, message: str, completed: Sequence[int] = (),
+                 failures: Optional[dict] = None, results: Optional[object] = None):
+        self.completed = list(completed)
+        self.failures = dict(failures or {})
+        self.results = results
+        super().__init__(message)
+
+
+class CrashError(HipHopError):
+    """An injected crash from the chaos harness
+    (:class:`repro.host.MachineCrasher`): the process hosting a reactive
+    machine is pretended dead, either mid-instant or between instants."""
+
+
 class InstantaneousLoopError(ValidationError):
     """A ``loop`` body may terminate in the same instant it starts, which
     would make the reaction diverge.  Rejected statically, as in Esterel."""

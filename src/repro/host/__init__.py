@@ -19,12 +19,13 @@ from repro.host.resilience import (
     with_retry,
     with_timeout,
 )
-from repro.host.chaos import ChaosLoop
+from repro.host.chaos import ChaosLoop, MachineCrasher
 
 __all__ = [
     "SimulatedLoop",
     "AsyncioLoop",
     "ChaosLoop",
+    "MachineCrasher",
     "AuthService",
     "FlakyService",
     "ServiceResponse",

@@ -20,6 +20,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, Optional
 
+from repro.errors import CrashError
 from repro.host.loop import SimulatedLoop, TimerHandle
 
 
@@ -105,4 +106,107 @@ class ChaosLoop(SimulatedLoop):
         return (
             f"ChaosLoop(seed={self.seed}, slack={self.timer_slack_ms}ms, "
             f"stats={self.chaos_stats})"
+        )
+
+
+class MachineCrasher:
+    """Deterministic crash injection for one reactive machine.
+
+    Two fault shapes, both raising :class:`~repro.errors.CrashError`
+    exactly once per arming (the crasher disarms itself as it fires):
+
+    * :meth:`kill_between_instants` — the *next* ``react()`` call dies
+      before touching any machine state (the clean crash: the machine is
+      still at an instant boundary and a snapshot+journal recovery loses
+      nothing but the killed instant's write-ahead entry).
+    * :meth:`kill_mid_instant` — the machine dies *inside* a reaction,
+      after a seeded number of payload-visible host calls
+      (``env_for``/``emit_value``).  Signals, counters and the frame may
+      be torn, but registers are not: all three backends latch registers
+      only after a successful fixpoint, so restoring the last checkpoint
+      and replaying the journal reconstructs the exact pre-crash state.
+
+    Injection works by shadowing the machine's host-callback methods
+    with instance attributes; :meth:`disarm` removes them.  Pair with a
+    :class:`ChaosLoop` (share its ``rng``) for a fully seeded
+    crash-under-chaos schedule.
+    """
+
+    def __init__(self, machine: Any, seed: int = 0, rng: Optional[random.Random] = None):
+        self.machine = machine
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.armed: Optional[str] = None
+        self.crash_stats: Dict[str, int] = {"mid_instant": 0, "between_instants": 0}
+        self._countdown = 0
+
+    # -- fault arming ----------------------------------------------------
+
+    def kill_between_instants(self) -> None:
+        """Arm a crash of the next ``react()`` call, before it starts."""
+        self.disarm()
+        self.armed = "between"
+        machine = self.machine
+
+        def crashed_react(inputs: Optional[Dict[str, Any]] = None) -> Any:
+            self.disarm()
+            self.crash_stats["between_instants"] += 1
+            raise CrashError(
+                f"injected crash: machine {machine.name!r} killed between "
+                f"instants (at reaction {machine.reaction_count})"
+            )
+
+        machine.__dict__["react"] = crashed_react
+
+    def kill_mid_instant(self, after_calls: Optional[int] = None) -> None:
+        """Arm a crash *inside* a subsequent reaction: the machine dies on
+        the ``after_calls``-th payload host call (``env_for`` or
+        ``emit_value``; seeded 1..8 when not given)."""
+        self.disarm()
+        self.armed = "mid"
+        self._countdown = after_calls if after_calls is not None else self.rng.randint(1, 8)
+        machine = self.machine
+        original_env_for = machine.env_for
+        original_emit_value = machine.emit_value
+
+        def crash_if_due() -> None:
+            self._countdown -= 1
+            if self._countdown <= 0:
+                self.disarm()
+                self.crash_stats["mid_instant"] += 1
+                raise CrashError(
+                    f"injected crash: machine {machine.name!r} killed "
+                    f"mid-instant (during reaction {machine.reaction_count})"
+                )
+
+        def env_for(scope: Dict[str, int]) -> Any:
+            crash_if_due()
+            return original_env_for(scope)
+
+        def emit_value(slot: int, value: Any) -> None:
+            crash_if_due()
+            original_emit_value(slot, value)
+
+        machine.__dict__["env_for"] = env_for
+        machine.__dict__["emit_value"] = emit_value
+
+    def kill_at_random(self) -> str:
+        """Arm one of the two fault shapes, chosen by the seeded RNG;
+        returns which (``"mid"`` / ``"between"``)."""
+        if self.rng.random() < 0.5:
+            self.kill_between_instants()
+        else:
+            self.kill_mid_instant()
+        return self.armed or ""
+
+    def disarm(self) -> None:
+        """Remove any armed fault (also called automatically as a fault
+        fires, so each arming kills at most once)."""
+        self.armed = None
+        for name in ("react", "env_for", "emit_value"):
+            self.machine.__dict__.pop(name, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"MachineCrasher({self.machine.name}, armed={self.armed!r}, "
+            f"stats={self.crash_stats})"
         )

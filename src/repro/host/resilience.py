@@ -263,6 +263,17 @@ class CircuitBreaker:
         elif self.state == self.CLOSED and self.consecutive_failures >= self.failure_threshold:
             self._open()
 
+    def reset(self) -> None:
+        """Re-arm the breaker: back to *closed* with zero consecutive
+        failures and no probes in flight (cumulative :attr:`stats` are
+        kept).  Called by ``ReactiveMachine.reset`` on every breaker
+        registered via ``register_breaker``, so a reset machine is not
+        born degraded by its previous life's failures."""
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ms = None
+        self._probes_in_flight = 0
+
     def snapshot(self) -> Dict[str, Any]:
         """A point-in-time view for ``machine.health`` and dashboards."""
         self._refresh()

@@ -1,6 +1,18 @@
 """Runtime: the reactive machine and its constructive circuit simulator."""
 
 from repro.runtime.fleet import MachineFleet
-from repro.runtime.machine import ReactiveMachine, ReactionResult
+from repro.runtime.journal import FileJournal, JournalEntry, MemoryJournal
+from repro.runtime.machine import ReactiveMachine, ReactionResult, SNAPSHOT_FORMAT
+from repro.runtime.recovery import FleetSupervisor, MachineSupervisor
 
-__all__ = ["MachineFleet", "ReactiveMachine", "ReactionResult"]
+__all__ = [
+    "MachineFleet",
+    "ReactiveMachine",
+    "ReactionResult",
+    "JournalEntry",
+    "MemoryJournal",
+    "FileJournal",
+    "MachineSupervisor",
+    "FleetSupervisor",
+    "SNAPSHOT_FORMAT",
+]

@@ -82,6 +82,8 @@ class ExecState:
         "pending",
         "pending_value",
         "handle",
+        "scope",
+        "started_live",
         "last_error",
     )
 
@@ -92,6 +94,15 @@ class ExecState:
         self.pending = False
         self.pending_value: Any = None
         self.handle: Optional[ExecHandle] = None
+        #: the lexical signal scope of the current invocation; kept after
+        #: the handle so machine snapshots can serialize it and
+        #: ``restart_execs`` can re-issue the host work after a restore
+        self.scope: Optional[Dict[str, int]] = None
+        #: whether the start action actually ran for this invocation —
+        #: False for handles rebuilt during replay/restore, whose kill/
+        #: suspend/resume cleanups must be suppressed (there is no host
+        #: resource behind them)
+        self.started_live = False
         #: the most recent :class:`ExecFailure` of this slot (persists
         #: until the next invocation starts, for post-mortem inspection)
         self.last_error: Optional[ExecFailure] = None
@@ -102,6 +113,7 @@ class ExecState:
         self.pending = False
         self.pending_value = None
         self.last_error = None
+        self.scope = dict(scope)
         self.handle = ExecHandle(machine, self.slot, self.generation, scope)
         return self.handle
 

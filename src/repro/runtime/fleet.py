@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
-from repro.errors import MachineError
+from repro.errors import FleetReactionError, MachineError
 from repro.lang import ast as A
 from repro.compiler.compile import (
     CompiledModule,
@@ -95,9 +95,47 @@ class MachineFleet:
     ) -> List[ReactionResult]:
         """One reaction on every member with the same inputs (a broadcast
         instant — e.g. the Skini musical pulse); returns the results in
-        member order."""
+        member order.
+
+        The instant is completed for *every* member even when some fail:
+        failures are collected and raised afterwards as a single
+        :class:`~repro.errors.FleetReactionError` carrying the completed
+        and failed member indices (and the partial results), so one bad
+        member can never leave the fleet half-advanced within a logical
+        instant."""
         shared = inputs or {}
-        return [machine.react(shared) for machine in self._machines]
+        return self._drive_batch(
+            range(len(self._machines)), lambda index, machine: shared
+        )
+
+    def _drive_batch(
+        self,
+        indices: Any,
+        make_inputs: Callable[[int, ReactiveMachine], Dict[str, Any]],
+    ) -> List[ReactionResult]:
+        """Run one reaction on each addressed member, completing the whole
+        batch before reporting failures (shared by ``react_all`` /
+        ``broadcast``)."""
+        results: List[Optional[ReactionResult]] = [None] * len(self._machines)
+        completed: List[int] = []
+        failures: Dict[int, Exception] = {}
+        for index in indices:
+            machine = self._machines[index]
+            try:
+                results[index] = machine.react(make_inputs(index, machine))
+                completed.append(index)
+            except Exception as err:
+                failures[index] = err
+        if failures:
+            raise FleetReactionError(
+                f"{len(failures)} of {len(self._machines)} fleet members "
+                f"failed the instant (members {sorted(failures)}); "
+                f"{len(completed)} completed",
+                completed=completed,
+                failures=failures,
+                results=results,
+            )
+        return results  # type: ignore[return-value]
 
     def react_one(
         self, index: int, inputs: Optional[Dict[str, Any]] = None
@@ -114,21 +152,40 @@ class MachineFleet:
     def react_each(
         self, inputs_by_member: Mapping[int, Dict[str, Any]]
     ) -> Dict[int, ReactionResult]:
-        """One reaction per addressed member (others stay untouched)."""
-        return {
-            index: self.react_one(index, inputs)
-            for index, inputs in inputs_by_member.items()
-        }
+        """One reaction per addressed member (others stay untouched).
+        Like :meth:`react_all`, the whole batch is driven before any
+        member's failure is raised (as a
+        :class:`~repro.errors.FleetReactionError` whose ``results`` is a
+        dict keyed by member index)."""
+        results: Dict[int, ReactionResult] = {}
+        completed: List[int] = []
+        failures: Dict[int, Exception] = {}
+        for index, inputs in inputs_by_member.items():
+            try:
+                results[index] = self.react_one(index, inputs)
+                completed.append(index)
+            except Exception as err:
+                failures[index] = err
+        if failures:
+            raise FleetReactionError(
+                f"{len(failures)} of {len(inputs_by_member)} addressed "
+                f"members failed (members {sorted(failures)}); "
+                f"{len(completed)} completed",
+                completed=completed,
+                failures=failures,
+                results=results,
+            )
+        return results
 
     def broadcast(
         self, make_inputs: Callable[[int, ReactiveMachine], Dict[str, Any]]
     ) -> List[ReactionResult]:
         """One reaction on every member with member-specific inputs from
-        ``make_inputs(index, machine)``."""
-        return [
-            machine.react(make_inputs(index, machine))
-            for index, machine in enumerate(self._machines)
-        ]
+        ``make_inputs(index, machine)``; completes the instant for every
+        member before raising a collected
+        :class:`~repro.errors.FleetReactionError` (an exception from
+        ``make_inputs`` itself counts as that member's failure)."""
+        return self._drive_batch(range(len(self._machines)), make_inputs)
 
     # -- introspection --------------------------------------------------
 

@@ -1,0 +1,228 @@
+"""Write-ahead input journal for reactive machines.
+
+A HipHop machine is a pure synchronous function of its inputs and its
+between-instant state (paper §5: unit-delay registers + exec state are
+the *only* memory).  Journaling therefore makes every machine durable:
+append the instant's inputs *before* reacting, and recovery is simply
+
+    machine.restore(latest_snapshot)
+    machine.replay(journal.entries())
+
+which deterministically re-derives the lost state — on any of the three
+reaction backends, since snapshots are backend-portable.
+
+Each :class:`JournalEntry` records the instant's external
+nondeterminism: the input-signal dict *and* the exec completions
+(``this.notify`` values) consumed by that instant.  Exec completions
+arrive from host callbacks the replay does not re-run, so they must be
+re-injected verbatim for the replayed trace to be byte-identical.
+
+Two sinks are provided: :class:`MemoryJournal` (process-local, keeps raw
+Python values) and :class:`FileJournal` (JSON-lines on disk, survives
+the process; values must be JSON-able).  ``truncate`` drops the prefix a
+checkpoint has made redundant; ``rewind`` drops a failed suffix before a
+supervised retry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import MachineError
+
+
+class JournalEntry:
+    """One journaled instant: sequence number (the machine's
+    ``reaction_count`` when the instant began), the input dict, and the
+    exec completions ``[(slot, value), ...]`` consumed by the instant.
+
+    ``committed`` flips once the instant completed (its host effects —
+    listeners, exec actions — were delivered).  A trailing *uncommitted*
+    entry marks an instant killed mid-flight: recovery must redo it
+    *live* (so its effects happen) instead of replaying it silently.
+    """
+
+    __slots__ = ("seq", "inputs", "execs", "committed")
+
+    def __init__(
+        self,
+        seq: int,
+        inputs: Dict[str, Any],
+        execs: Iterable[Tuple[int, Any]] = (),
+        committed: bool = False,
+    ):
+        self.seq = seq
+        self.inputs = dict(inputs)
+        self.execs = [(int(slot), value) for slot, value in execs]
+        self.committed = committed
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "inputs": self.inputs,
+            "execs": [list(e) for e in self.execs],
+            "committed": self.committed,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "JournalEntry":
+        return cls(
+            int(data["seq"]),
+            data.get("inputs", {}),
+            [(slot, value) for slot, value in data.get("execs", ())],
+            bool(data.get("committed", False)),
+        )
+
+    def __repr__(self) -> str:
+        flag = "committed" if self.committed else "uncommitted"
+        return (
+            f"JournalEntry(seq={self.seq}, inputs={self.inputs!r}, "
+            f"execs={self.execs!r}, {flag})"
+        )
+
+
+class MemoryJournal:
+    """An in-memory write-ahead journal (the default sink).
+
+    Entries are kept in append order with strictly increasing ``seq``;
+    values are stored by reference, so this sink is exact for any Python
+    value but does not survive the process.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[JournalEntry] = []
+
+    # -- the write-ahead API (called by the machine) --------------------
+
+    def append(self, entry: JournalEntry) -> None:
+        if self._entries and entry.seq <= self._entries[-1].seq:
+            raise MachineError(
+                f"journal entries must have increasing seq: got {entry.seq} "
+                f"after {self._entries[-1].seq}"
+            )
+        self._entries.append(entry)
+
+    def commit(self, seq: int) -> None:
+        """Mark the entry with ``seq`` committed: its instant completed
+        and delivered its host effects.  Called by the machine right
+        after each journaled reaction returns."""
+        for entry in reversed(self._entries):
+            if entry.seq == seq:
+                entry.committed = True
+                return
+
+    # -- recovery reads and maintenance ---------------------------------
+
+    def entries(self, from_seq: int = 0) -> List[JournalEntry]:
+        """The journaled tail with ``seq >= from_seq``, oldest first."""
+        return [e for e in self._entries if e.seq >= from_seq]
+
+    def truncate(self, before_seq: int) -> int:
+        """Checkpoint maintenance: drop entries with ``seq < before_seq``
+        (they are covered by a snapshot).  Returns how many were dropped."""
+        kept = [e for e in self._entries if e.seq >= before_seq]
+        dropped = len(self._entries) - len(kept)
+        self._entries = kept
+        return dropped
+
+    def rewind(self, seq: int) -> int:
+        """Drop the *suffix* with ``seq >= seq`` — the write-ahead records
+        of a failed (rolled-back) instant, before it is retried."""
+        kept = [e for e in self._entries if e.seq < seq]
+        dropped = len(self._entries) - len(kept)
+        self._entries = kept
+        return dropped
+
+    def clear(self) -> None:
+        self._entries = []
+
+    @property
+    def last_seq(self) -> Optional[int]:
+        return self._entries[-1].seq if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({len(self._entries)} entries)"
+
+
+class FileJournal(MemoryJournal):
+    """A JSON-lines file-backed journal.
+
+    Appends are written (and flushed) before the reaction runs —
+    write-ahead in the literal sense.  Opening an existing path loads its
+    entries, so a restarted process recovers with::
+
+        journal = FileJournal(path)
+        machine.restore(json.load(snapshot_file))
+        machine.replay(journal.entries())
+
+    Inputs and exec values must be JSON-serializable; ``truncate`` and
+    ``rewind`` compact by rewriting the file.
+    """
+
+    def __init__(self, path: Any):
+        super().__init__()
+        self.path = path
+        self._fh = None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = json.loads(line)
+                    if "commit" in record and "seq" not in record:
+                        MemoryJournal.commit(self, int(record["commit"]))
+                    else:
+                        super().append(JournalEntry.from_json(record))
+        except FileNotFoundError:
+            pass
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def append(self, entry: JournalEntry) -> None:
+        super().append(entry)
+        self._fh.write(json.dumps(entry.to_json()) + "\n")
+        self._fh.flush()
+
+    def commit(self, seq: int) -> None:
+        super().commit(seq)
+        # append-only commit record; compaction happens on rewrite
+        self._fh.write(json.dumps({"commit": seq}) + "\n")
+        self._fh.flush()
+
+    def _rewrite(self) -> None:
+        self._fh.close()
+        with open(self.path, "w", encoding="utf-8") as fh:
+            for entry in self._entries:
+                fh.write(json.dumps(entry.to_json()) + "\n")
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def truncate(self, before_seq: int) -> int:
+        dropped = super().truncate(before_seq)
+        if dropped:
+            self._rewrite()
+        return dropped
+
+    def rewind(self, seq: int) -> int:
+        dropped = super().rewind(seq)
+        if dropped:
+            self._rewrite()
+        return dropped
+
+    def clear(self) -> None:
+        super().clear()
+        self._rewrite()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __del__(self) -> None:  # best-effort: tests create many of these
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -29,16 +29,20 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
 
-from repro.errors import MachineError, SignalError
+from repro.errors import MachineError, SignalError, SnapshotError
 from repro.lang import ast as A
 from repro.lang import expr as E
 from repro.compiler.compile import CompiledModule, CompileOptions, compile_cached
 from repro.runtime.execblock import ExecFailure, ExecHandle, ExecState
 from repro.runtime.fastsched import LevelizedScheduler, SparseScheduler
+from repro.runtime.journal import JournalEntry
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.signal import RuntimeSignal, SignalView
 
 BACKENDS = ("auto", "sparse", "levelized", "worklist")
+
+#: version tag of the :meth:`ReactiveMachine.snapshot` payload layout
+SNAPSHOT_FORMAT = 1
 
 #: Below this circuit size the compiled full sweep is cheaper than the
 #: sparse mode's per-reaction bookkeeping (heap, dirty sets, incremental
@@ -220,6 +224,12 @@ class ReactiveMachine:
         self._deferred: List[Dict[str, Any]] = []
         self.terminated = False
         self.reaction_count = 0
+        #: attached write-ahead journal (see :meth:`attach_journal`)
+        self._journal: Optional[Any] = None
+        #: True while :meth:`replay` re-derives state from the journal:
+        #: journaling, listeners and exec host actions are suppressed so
+        #: recovery never duplicates an already-performed host effect
+        self._replaying = False
 
         #: what to do with exceptions raised inside exec host actions:
         #: ``"raise"`` (default: record, then propagate), ``"signal:<name>"``
@@ -329,8 +339,36 @@ class ReactiveMachine:
         return result
 
     def _react_once(self, inputs: Dict[str, Any]) -> ReactionResult:
+        # Write-ahead journaling: record the instant's inputs *and* the
+        # exec completions it is about to consume before any state moves,
+        # so a crash at any later point replays deterministically.  The
+        # commit record after the reaction marks the instant's host
+        # effects as delivered; a trailing uncommitted entry tells
+        # recovery to redo that instant *live* (effects never happened)
+        # rather than replay it silently.
+        journal = self._journal if not self._replaying else None
+        seq = self.reaction_count
+        if journal is not None:
+            journal.append(
+                JournalEntry(
+                    seq,
+                    inputs,
+                    [
+                        (state.slot, state.pending_value)
+                        for state in self._execs
+                        if state.running and state.pending
+                    ],
+                )
+            )
         if self._sparse:
-            return self._react_once_sparse(inputs)
+            result = self._react_once_sparse(inputs)
+        else:
+            result = self._react_once_classic(inputs)
+        if journal is not None:
+            journal.commit(seq)
+        return result
+
+    def _react_once_classic(self, inputs: Dict[str, Any]) -> ReactionResult:
         circuit = self.compiled.circuit
         input_values: Dict[int, bool] = {}
 
@@ -380,9 +418,7 @@ class ReactiveMachine:
             emitted, statuses, self.terminated, bool(values[circuit.k1_net.id])
         )
 
-        for name, value in emitted.items():
-            for listener in self._listeners.get(name, ()):
-                listener(value)
+        self._notify_listeners(emitted)
         return result
 
     def _react_once_sparse(self, inputs: Dict[str, Any]) -> ReactionResult:
@@ -492,9 +528,7 @@ class ReactiveMachine:
             bool(values[circuit.k1_net.id]),
         )
 
-        for name, value in emitted.items():
-            for listener in self._listeners.get(name, ()):
-                listener(value)
+        self._notify_listeners(emitted)
         return result
 
     def _finish_full_sweep(self, values: List[Optional[bool]]) -> ReactionResult:
@@ -535,14 +569,26 @@ class ReactiveMachine:
         result = ReactionResult(
             emitted, statuses, self.terminated, bool(values[circuit.k1_net.id])
         )
+        self._notify_listeners(emitted)
+        return result
+
+    def _notify_listeners(self, emitted: Dict[str, Any]) -> None:
+        """Deliver output emissions to registered listeners — except
+        during :meth:`replay`, when the original run already delivered
+        them (exactly-once host effects across a recovery)."""
+        if self._replaying:
+            return
         for name, value in emitted.items():
             for listener in self._listeners.get(name, ()):
                 listener(value)
-        return result
 
     def queue_react(self, inputs: Dict[str, Any]) -> None:
         """Queue a reaction (callable from anywhere, including from inside
         async bodies during a reaction)."""
+        if self._replaying:
+            # Replay re-derives state only; queued sub-instants were
+            # journaled individually by the original run.
+            return
         if self._reacting:
             self._deferred.append(inputs)
         elif self._loop is not None:
@@ -551,12 +597,21 @@ class ReactiveMachine:
             self.react(inputs)
 
     def reset(self) -> None:
-        """Return the machine to its boot state (registers, signals,
-        counters, execs); host frame variables are re-initialized."""
+        """Return the machine to its boot state (registers, signals —
+        including per-signal ``emitted`` counters — counters, execs);
+        host frame variables are re-initialized.
+
+        The post-reset health contract (see :attr:`health`): zero
+        reactions, zero failures, no exec errors, no queued reactions,
+        and every breaker registered via :meth:`register_breaker`
+        re-armed to its closed state — a reset machine is never born
+        degraded by its previous life.
+        """
         self._scheduler.clear_state()
         for state in self._execs:
             state.stop()
             state.last_error = None
+            state.scope = None
         self._counters = [0] * len(self._counters)
         self._failed_reactions = 0
         self._exec_failures = 0
@@ -567,10 +622,240 @@ class ReactiveMachine:
         self._active_slots = set()
         self._present_slots = set()
         self._touched_slots = set()
+        # Reactions queued during a failed or interrupted instant must not
+        # replay into the freshly reset machine.
+        self._deferred.clear()
+        for breaker in self._breakers.values():
+            reset = getattr(breaker, "reset", None)
+            if callable(reset):
+                reset()
         self.frame = {}
         self.terminated = False
         self.reaction_count = 0
         self._boot_values()
+
+    # ------------------------------------------------------------------
+    # durability: snapshot / restore / journal replay
+    # ------------------------------------------------------------------
+
+    def attach_journal(self, journal: Any) -> Any:
+        """Attach a write-ahead input journal (see
+        :mod:`repro.runtime.journal`): every subsequent instant appends a
+        :class:`~repro.runtime.journal.JournalEntry` *before* reacting.
+        Returns the journal.  Pass ``None`` to detach."""
+        self._journal = journal
+        return journal
+
+    @property
+    def journal(self) -> Optional[Any]:
+        return self._journal
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serialize exactly the between-instant state as a plain,
+        JSON-able dict.
+
+        The payload holds the register values, per-signal
+        ``now``/``pre``/``nowval``/``preval``/``emitted``, ``await count``
+        counters, exec-slot state (running/generation/pending/scope/
+        last_error summary), the host ``frame``, ``terminated`` and
+        ``reaction_count`` — nothing else, because the synchronous model
+        guarantees nothing else persists across instants.  It is stamped
+        with the structural compile fingerprint so :meth:`restore`
+        refuses payloads from structurally different programs.
+
+        Snapshots are backend-portable: register order is identical
+        across the worklist, levelized and sparse backends, and the
+        sparse backend's dirty-set bookkeeping is deliberately *not*
+        serialized (it is reconstructed by a full sweep on the first
+        post-restore reaction).
+        """
+        if self._reacting:
+            raise SnapshotError(
+                "cannot snapshot mid-reaction: snapshots are taken at "
+                "instant boundaries"
+            )
+        execs: List[Dict[str, Any]] = []
+        for state in self._execs:
+            failure = state.last_error
+            execs.append(
+                {
+                    "running": state.running,
+                    "generation": state.generation,
+                    "pending": state.pending,
+                    "pending_value": state.pending_value,
+                    "scope": dict(state.scope) if state.scope is not None else None,
+                    "last_error": (
+                        {
+                            "phase": failure.phase,
+                            "reaction": failure.reaction,
+                            "error": repr(failure.error),
+                        }
+                        if failure is not None
+                        else None
+                    ),
+                }
+            )
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "fingerprint": self.compiled.fingerprint,
+            "module": self.name,
+            "registers": [1 if value else 0 for value in self._scheduler.state],
+            "signals": [
+                [s.now, s.pre, s.nowval, s.preval, s.emitted] for s in self._signals
+            ],
+            "counters": list(self._counters),
+            "execs": execs,
+            "frame": dict(self.frame),
+            "terminated": self.terminated,
+            "reaction_count": self.reaction_count,
+        }
+
+    def restore(self, snap: Mapping) -> None:
+        """Overwrite this machine's between-instant state with a
+        :meth:`snapshot` payload.
+
+        Refuses (with :class:`~repro.errors.SnapshotError`) payloads
+        whose compile fingerprint does not match this machine's compiled
+        module.  Any in-flight exec invocations are invalidated
+        (kill-on-restore: their generations are bumped past the
+        snapshot's, so stale ``notify`` calls are discarded); slots that
+        were logically running keep their state and can have their host
+        work re-issued with :meth:`restart_execs`.
+        """
+        if self._reacting:
+            raise SnapshotError("cannot restore mid-reaction")
+        if not isinstance(snap, Mapping):
+            raise SnapshotError(f"snapshot payload must be a mapping, got {type(snap).__name__}")
+        if snap.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"unsupported snapshot format {snap.get('format')!r} "
+                f"(this runtime writes format {SNAPSHOT_FORMAT})"
+            )
+        fingerprint = snap.get("fingerprint")
+        if fingerprint != self.compiled.fingerprint:
+            raise SnapshotError(
+                f"snapshot fingerprint mismatch: payload was taken from "
+                f"{snap.get('module')!r} with fingerprint {fingerprint!r}, "
+                f"this machine is {self.name!r} with fingerprint "
+                f"{self.compiled.fingerprint!r}"
+            )
+        registers = snap["registers"]
+        signals = snap["signals"]
+        counters = snap["counters"]
+        execs = snap["execs"]
+        if (
+            len(signals) != len(self._signals)
+            or len(counters) != len(self._counters)
+            or len(execs) != len(self._execs)
+        ):
+            raise SnapshotError("snapshot state arity does not match this circuit")
+
+        # clear_state() also flags the sparse backend for a full sweep on
+        # the next reaction, which reconstructs its dirty-set/net-value
+        # caches from the restored registers — that state is derived, not
+        # serialized.
+        self._scheduler.clear_state()
+        state = self._scheduler.state
+        if len(registers) != len(state):
+            raise SnapshotError(
+                f"snapshot has {len(registers)} registers, circuit has {len(state)}"
+            )
+        state[:] = [bool(value) for value in registers]
+
+        for signal, (now, pre, nowval, preval, emitted) in zip(self._signals, signals):
+            signal.now = bool(now)
+            signal.pre = bool(pre)
+            signal.nowval = nowval
+            signal.preval = preval
+            signal.emitted = int(emitted)
+
+        self._counters = [int(value) for value in counters]
+
+        for estate, esnap in zip(self._execs, execs):
+            estate.running = bool(esnap["running"])
+            # One past the snapshot generation: any handle that survived
+            # from before the crash/restore is stale and its notify()s
+            # are silently discarded (paper §2.2.4 applied to recovery).
+            estate.generation = int(esnap["generation"]) + 1
+            estate.pending = bool(esnap["pending"])
+            estate.pending_value = esnap["pending_value"]
+            scope = esnap.get("scope")
+            estate.scope = dict(scope) if scope is not None else None
+            estate.handle = None
+            estate.started_live = False
+            estate.last_error = None
+
+        self.frame = dict(snap["frame"])
+        self.terminated = bool(snap["terminated"])
+        self.reaction_count = int(snap["reaction_count"])
+        self._deferred.clear()
+
+        # Rebuild the sparse backend's signal tracking sets from the
+        # restored signal states (conservative: a slot is active iff it
+        # needs begin_instant next reaction).
+        present: set = set()
+        active: set = set()
+        for signal in self._signals:
+            if signal.now:
+                present.add(signal.slot)
+            if (
+                signal.now
+                or signal.pre
+                or signal.emitted
+                or signal.nowval is not signal.preval
+            ):
+                active.add(signal.slot)
+        self._present_slots = present
+        self._active_slots = active
+        self._touched_slots = set()
+
+    def replay(self, entries: Any) -> List[ReactionResult]:
+        """Deterministically re-run journaled instants against this
+        machine's current state and return their results.
+
+        During replay the machine re-derives state only: journaling,
+        output listeners, exec host actions and queued reactions are all
+        suppressed, so host effects already performed by the original
+        run are never duplicated.  Entries must continue exactly at this
+        machine's ``reaction_count`` (i.e. restore the matching snapshot
+        first)."""
+        if self._reacting:
+            raise MachineError("cannot replay during a reaction")
+        results: List[ReactionResult] = []
+        self._replaying = True
+        try:
+            for entry in entries:
+                if entry.seq != self.reaction_count:
+                    raise SnapshotError(
+                        f"journal entry seq {entry.seq} does not continue "
+                        f"machine at reaction {self.reaction_count}"
+                    )
+                for slot, value in entry.execs:
+                    estate = self._execs[slot]
+                    if estate.running:
+                        estate.pending = True
+                        estate.pending_value = value
+                results.append(self._react_once(dict(entry.inputs)))
+        finally:
+            self._replaying = False
+            self._deferred.clear()
+        return results
+
+    def restart_execs(self) -> List[int]:
+        """Re-issue host work for exec slots that are logically running
+        but have no live invocation (the situation after :meth:`restore`):
+        each gets a fresh generation/handle and its ``async`` body re-run.
+        Slots whose completion is already pending are left alone — their
+        value lands at the next reaction.  Returns the restarted slots."""
+        restarted: List[int] = []
+        for state in self._execs:
+            if state.running and state.handle is None and not state.pending:
+                info = self.compiled.circuit.execs[state.slot]
+                handle = state.start(self, state.scope or {})
+                state.started_live = True
+                self._run_exec_action(info.stmt.start, handle, "start")
+                restarted.append(state.slot)
+        return restarted
 
     # ------------------------------------------------------------------
     # signal access (machine.connState.nowval, listeners)
@@ -633,6 +918,7 @@ class ReactiveMachine:
         state = self._execs[slot]
         info = self.compiled.circuit.execs[slot]
         handle = state.start(self, scope)
+        state.started_live = not self._replaying
         self._run_exec_action(info.stmt.start, handle, "start")
 
     def kill_exec(self, slot: int) -> None:
@@ -641,20 +927,34 @@ class ReactiveMachine:
             return
         info = self.compiled.circuit.execs[slot]
         handle = state.handle
+        live = state.started_live
         state.stop()
-        if info.stmt.kill is not None and handle is not None:
+        # Kill cleanups pair with a live start: a handle rebuilt during
+        # replay/restore owns no host resource, so there is nothing to
+        # clean up (and its attribute bag is empty).
+        if info.stmt.kill is not None and handle is not None and live:
             self._run_exec_action(info.stmt.kill, handle, "kill")
 
     def suspend_exec(self, slot: int) -> None:
         state = self._execs[slot]
         info = self.compiled.circuit.execs[slot]
-        if state.running and info.stmt.on_suspend is not None and state.handle:
+        if (
+            state.running
+            and info.stmt.on_suspend is not None
+            and state.handle
+            and state.started_live
+        ):
             self._run_exec_action(info.stmt.on_suspend, state.handle, "suspend")
 
     def resume_exec(self, slot: int) -> None:
         state = self._execs[slot]
         info = self.compiled.circuit.execs[slot]
-        if state.running and info.stmt.on_resume is not None and state.handle:
+        if (
+            state.running
+            and info.stmt.on_resume is not None
+            and state.handle
+            and state.started_live
+        ):
             self._run_exec_action(info.stmt.on_resume, state.handle, "resume")
 
     def finish_exec(self, slot: int) -> None:
@@ -668,6 +968,11 @@ class ReactiveMachine:
         state.stop()
 
     def notify_exec(self, slot: int, generation: int, value: Any) -> None:
+        if self._replaying:
+            # Completions consumed by the original run are re-injected
+            # from the journal; a live callback firing during replay
+            # belongs to a stale (pre-restore) invocation.
+            return
         state = self._execs[slot]
         if not state.running or state.generation != generation:
             return  # stale invocation: silently discarded (paper §2.2.4)
@@ -679,6 +984,10 @@ class ReactiveMachine:
         """Run an exec host action under supervision: an exception is
         caught per-slot, recorded, and routed by ``on_exec_error`` instead
         of unconditionally crashing the reaction."""
+        if self._replaying:
+            # Host effects (service calls, timers, kill cleanups) already
+            # happened in the original run; replay only rebuilds state.
+            return
         try:
             if callable(action):
                 action(handle)
@@ -718,7 +1027,14 @@ class ReactiveMachine:
     @property
     def health(self) -> Dict[str, Any]:
         """A point-in-time health snapshot: reaction and failure counts,
-        exec-slot errors, and the state of every registered breaker."""
+        exec-slot errors, and the state of every registered breaker.
+
+        Post-reset contract: immediately after :meth:`reset`,
+        ``reactions``/``failed_reactions``/``exec_failures`` are zero,
+        ``execs_running`` is zero, ``exec_errors`` is empty, and every
+        registered breaker reports ``closed`` with zero consecutive
+        failures (reset re-arms them) — the health of a freshly built
+        machine."""
         exec_errors = [
             state.last_error for state in self._execs if state.last_error is not None
         ]

@@ -202,3 +202,85 @@ class TestSuspendHooks:
         m.react({"hold": True})
         m.react({})
         assert events == ["start", "susp", "res"]
+
+
+class TestSnapshotWithExecs:
+    """Durability at the async boundary: snapshots capture in-flight
+    exec invocations, restore bumps the generation (kill-on-restore: the
+    pre-crash invocation's late notify is discarded), and
+    ``restart_execs`` re-issues the host work for a recovered machine."""
+
+    def _module(self, events, handles):
+        def start(ctx):
+            handles.append(ctx)
+            events.append("start")
+
+        return hh.module(
+            "M", "in go, out done",
+            hh.every(hh.sig("go"),
+                     hh.exec_(start, signal="done",
+                              kill=lambda ctx: events.append("kill"))),
+        )
+
+    def test_snapshot_captures_in_flight_exec(self):
+        events, handles = [], []
+        m = ReactiveMachine(self._module(events, handles))
+        m.react({})
+        m.react({"go": True})
+        snap = m.snapshot()
+        running = [e for e in snap["execs"] if e["running"]]
+        assert len(running) == 1
+        assert running[0]["pending"] is False
+        assert running[0]["scope"] is not None
+
+    def test_restore_discards_stale_notify(self):
+        events, handles = [], []
+        m = ReactiveMachine(self._module(events, handles))
+        m.react({})
+        m.react({"go": True})
+        snap = m.snapshot()
+        m.restore(snap)  # simulated crash + in-place recovery
+        handles[0].notify("stale")  # the pre-crash invocation resolves late
+        assert not m.done.now  # discarded: restore bumped the generation
+        assert any(s.running for s in m._execs)  # still logically running
+
+    def test_restart_execs_reissues_host_work(self):
+        events, handles = [], []
+        mod = self._module(events, handles)
+        m = ReactiveMachine(mod)
+        m.react({})
+        m.react({"go": True})
+        snap = m.snapshot()
+
+        fresh = ReactiveMachine(mod)
+        fresh.restore(snap)
+        (state,) = [s for s in fresh._execs if s.running]
+        assert state.handle is None
+        assert fresh.restart_execs() == [state.slot]
+        assert events.count("start") == 2  # original + recovery restart
+        handles[-1].notify(42)  # the new invocation completes
+        assert fresh.done.nowval == 42
+        # a second call is a no-op: everything already has a live handle
+        assert fresh.restart_execs() == []
+
+    def test_kill_cleanup_suppressed_for_replayed_start(self):
+        from repro import MemoryJournal
+
+        events, handles = [], []
+        mod = self._module(events, handles)
+        m = ReactiveMachine(mod)
+        journal = MemoryJournal()
+        m.attach_journal(journal)
+        base = m.snapshot()
+        m.react({})
+        m.react({"go": True})  # start #1, live
+        assert events == ["start"]
+
+        fresh = ReactiveMachine(mod)
+        fresh.restore(base)
+        fresh.replay(journal.entries())
+        assert events == ["start"]  # replayed start ran no host action
+        # preempting the replayed invocation must not run its kill action
+        # (no host resource behind it), but the new start is live again
+        fresh.react({"go": True})
+        assert events == ["start", "start"]
