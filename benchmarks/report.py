@@ -314,6 +314,34 @@ def r2():
     print(f"  wrote {BENCH_RECOVERY_JSON.name}")
 
 
+def o1():
+    print("\nO1 - overload resilience (coalescing ingress at 10x sustainable"
+          " load)")
+    import bench_overload
+
+    if PROFILE["fleet_size"] < FULL["fleet_size"]:
+        bench_overload.PROFILE.update(bench_overload.QUICK)
+    bench_overload.test_overload_p99_within_gate()
+    bench_overload.test_bounded_policies_shed_exactly()
+    bench_overload.test_reaction_budget_overhead()
+    data = json.loads(bench_overload.BENCH_JSON.read_text())
+    steady, over = data["steady"], data["overload"]
+    print(f"  steady ({steady['members']} members): median "
+          f"{steady['median_ms']:.4f} ms, p99 {steady['p99_ms']:.4f} ms")
+    print(f"  overload: {over['events']} events at {over['rate_per_s']}/s "
+          f"({over['overload_factor']:.0f}x sustainable) -> "
+          f"{over['reacts']} coalesced reacts "
+          f"({over['flattening']:.1f}x flattening), shed {over['shed']}")
+    print(f"  p99 {over['p99_ms']:.4f} ms = {over['ratio']:.2f}x unloaded "
+          f"p99 (gate {over['gate']:.0f}x)")
+    policies = data["shedding"]["policies"]
+    print("  shedding: " + ", ".join(
+        f"{policy} {entry['shed']}/{entry['offered']}"
+        for policy, entry in policies.items()))
+    print(f"  budget overhead: {data['budget_overhead']['ratio']:.2f}x")
+    print(f"  wrote {bench_overload.BENCH_JSON.name}")
+
+
 def a1():
     print("\nA1 - optimizer ablation (nets raw -> optimized)")
     from repro.apps.login import login_table
@@ -345,4 +373,5 @@ if __name__ == "__main__":
     f1()
     r1()
     r2()
+    o1()
     a1()

@@ -30,7 +30,9 @@ from repro.errors import (
     LinkError,
     MachineError,
     MultipleEmitError,
+    OverloadError,
     ParseError,
+    ReactionBudgetExceeded,
     SignalError,
     SnapshotError,
     ValidationError,
@@ -47,12 +49,15 @@ from repro.compiler import (
 )
 from repro.runtime import (
     FileJournal,
+    FleetIngress,
     FleetSupervisor,
     MachineFleet,
     MachineSupervisor,
+    Mailbox,
     MemoryJournal,
     ReactionResult,
     ReactiveMachine,
+    TokenBucket,
 )
 from repro.syntax import parse_expression, parse_module, parse_program, parse_statement
 
@@ -62,6 +67,9 @@ __all__ = [
     "ReactiveMachine",
     "ReactionResult",
     "MachineFleet",
+    "FleetIngress",
+    "Mailbox",
+    "TokenBucket",
     "MachineSupervisor",
     "FleetSupervisor",
     "MemoryJournal",
@@ -94,5 +102,7 @@ __all__ = [
     "SnapshotError",
     "FleetReactionError",
     "CrashError",
+    "OverloadError",
+    "ReactionBudgetExceeded",
     "__version__",
 ]

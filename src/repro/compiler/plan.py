@@ -159,6 +159,16 @@ class EvalPlan:
     # -- selection ----------------------------------------------------------
 
     @property
+    def net_count(self) -> int:
+        """Total nets one full sweep evaluates — the natural unit for
+        reaction-deadline budgets (``ReactiveMachine``'s ``"auto"``
+        budget is a multiple of this, so a budget always admits the
+        plan's own full sweep and trips only on genuinely runaway
+        instants: unbounded deferred-reaction chains or pathological
+        relaxation)."""
+        return len(self.circuit.nets)
+
+    @property
     def is_pure(self) -> bool:
         """True when the whole reaction is straight-line (no blocks)."""
         return not self.blocks

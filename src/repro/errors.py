@@ -109,6 +109,47 @@ class SnapshotError(MachineError):
     mismatch (restoring onto a structurally different program)."""
 
 
+class OverloadError(MachineError):
+    """A bounded :class:`~repro.runtime.ingress.Mailbox` refused an input
+    under its ``reject`` policy (or an admission controller refused it at
+    the fleet boundary).  The refusal is *recorded* in the mailbox stats
+    before this is raised — overload shedding is always an explicit,
+    observable policy decision, never a silent drop.
+
+    :param inputs: the refused input map (``None`` when not applicable).
+    :param pending: how many input maps were already queued.
+    """
+
+    def __init__(self, message: str, inputs: Optional[dict] = None,
+                 pending: int = 0):
+        self.inputs = inputs
+        self.pending = pending
+        super().__init__(message)
+
+
+class ReactionBudgetExceeded(MachineError):
+    """An instant ran past its reaction deadline: the net-evaluation
+    budget threaded through :meth:`ReactiveMachine.react` was exhausted
+    before the reaction (including any deferred sub-instants it queued)
+    stabilized.
+
+    This is a *recoverable* abort: registers are only latched after a
+    successful fixpoint, so a :class:`~repro.runtime.recovery.MachineSupervisor`
+    rolls the aborted instant back to its pre-instant boundary via the
+    ordinary checkpoint/replay path.
+
+    :param budget: the configured budget, in net evaluations.
+    :param evaluated: how many evaluations had been spent when the
+        deadline fired.
+    """
+
+    def __init__(self, message: str, budget: Optional[int] = None,
+                 evaluated: Optional[int] = None):
+        self.budget = budget
+        self.evaluated = evaluated
+        super().__init__(message)
+
+
 class FleetReactionError(MachineError):
     """One or more fleet members failed during a batch instant.
 

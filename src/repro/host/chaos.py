@@ -147,7 +147,7 @@ class MachineCrasher:
         self.armed = "between"
         machine = self.machine
 
-        def crashed_react(inputs: Optional[Dict[str, Any]] = None) -> Any:
+        def crashed_react(inputs: Optional[Dict[str, Any]] = None, **_kwargs: Any) -> Any:
             self.disarm()
             self.crash_stats["between_instants"] += 1
             raise CrashError(
@@ -210,3 +210,109 @@ class MachineCrasher:
             f"MachineCrasher({self.machine.name}, armed={self.armed!r}, "
             f"stats={self.crash_stats})"
         )
+
+
+class LoadGenerator:
+    """Deterministic traffic generation against a loop's (virtual) time.
+
+    Two canonical overload shapes, both pure functions of the seed:
+
+    * :meth:`poisson` — **open-loop** traffic: events arrive with
+      exponentially distributed gaps at a target rate, regardless of how
+      fast the system drains them (the arrival process of independent
+      Skini participants tapping their phones).
+    * :meth:`bursts` — **closed-loop** burst traffic: a burst of
+      back-to-back events, a gap, the next burst (the thundering-herd
+      shape of a conductor cue or a reconnect storm).
+
+    Each event calls ``sink(inputs)`` with the map built by
+    ``make_inputs(event_index)``; the sink is typically
+    :meth:`Mailbox.offer <repro.runtime.ingress.Mailbox.offer>`, a
+    :class:`~repro.runtime.fleet.FleetIngress` route, or a bare
+    ``machine.react``.  Sink exceptions (e.g.
+    :class:`~repro.errors.OverloadError` under the ``reject`` policy)
+    are counted in ``stats["sink_errors"]`` and do not stop the run —
+    overload experiments must outlive the overload.
+    """
+
+    def __init__(
+        self,
+        loop: Any,
+        sink: Callable[[Dict[str, Any]], Any],
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ):
+        self.loop = loop
+        self.sink = sink
+        self.seed = seed
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.stats: Dict[str, int] = {"scheduled": 0, "delivered": 0, "sink_errors": 0}
+
+    def _deliver(self, make_inputs: Callable[[int], Dict[str, Any]], index: int) -> None:
+        self.stats["delivered"] += 1
+        try:
+            self.sink(make_inputs(index))
+        except Exception:
+            self.stats["sink_errors"] += 1
+
+    def poisson(
+        self,
+        rate_per_s: float,
+        duration_ms: float,
+        make_inputs: Callable[[int], Dict[str, Any]] = lambda i: {},
+    ) -> int:
+        """Schedule open-loop Poisson arrivals at ``rate_per_s`` over the
+        next ``duration_ms`` of loop time (exponential inter-arrival
+        gaps, drawn up front so the schedule is a pure function of the
+        seed).  Returns the number of events scheduled; drive the loop
+        (``advance`` / real time) to deliver them."""
+        if rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+        if duration_ms < 0:
+            raise ValueError("duration must be >= 0")
+        mean_gap_ms = 1000.0 / rate_per_s
+        at = self.rng.expovariate(1.0) * mean_gap_ms
+        index = 0
+        while at <= duration_ms:
+            event = index
+
+            def fire(event: int = event) -> None:
+                self._deliver(make_inputs, event)
+
+            self.loop.set_timeout(fire, at)
+            self.stats["scheduled"] += 1
+            index += 1
+            at += self.rng.expovariate(1.0) * mean_gap_ms
+        return index
+
+    def bursts(
+        self,
+        burst_size: int,
+        gap_ms: float,
+        count: int,
+        make_inputs: Callable[[int], Dict[str, Any]] = lambda i: {},
+        start_ms: float = 0.0,
+    ) -> int:
+        """Schedule ``count`` bursts of ``burst_size`` back-to-back events
+        (same loop instant), ``gap_ms`` apart, starting ``start_ms`` from
+        now.  Returns the number of events scheduled."""
+        if burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        if gap_ms <= 0:
+            raise ValueError("gap_ms must be positive")
+        index = 0
+        for burst in range(count):
+            at = start_ms + burst * gap_ms
+            for _ in range(burst_size):
+                event = index
+
+                def fire(event: int = event) -> None:
+                    self._deliver(make_inputs, event)
+
+                self.loop.set_timeout(fire, at)
+                self.stats["scheduled"] += 1
+                index += 1
+        return index
+
+    def __repr__(self) -> str:
+        return f"LoadGenerator(seed={self.seed}, stats={self.stats})"

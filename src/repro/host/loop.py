@@ -92,7 +92,12 @@ class SimulatedLoop:
 
     def advance(self, delta_ms: float) -> int:
         """Advance virtual time, firing due timers in order.  Returns the
-        number of callbacks executed."""
+        number of callbacks executed.  ``delta_ms`` must be >= 0: virtual
+        time is monotone (use ``advance(0)`` to drain due work)."""
+        if delta_ms < 0:
+            raise ValueError(
+                f"cannot advance virtual time backwards (delta_ms={delta_ms})"
+            )
         deadline = self.now_ms + delta_ms
         fired = self.flush_soon()
         while self._heap and self._heap[0][0] <= deadline:
@@ -119,7 +124,9 @@ class SimulatedLoop:
         deadline = self.now_ms + max_ms
         fired = self.flush_soon()
         while self._heap and self._heap[0][0] <= deadline:
-            fired += self.advance(self._heap[0][0] - self.now_ms)
+            # max(0, ...): a callback may have scheduled a timer with a
+            # negative delay, i.e. already due; advance(0) drains it.
+            fired += self.advance(max(0.0, self._heap[0][0] - self.now_ms))
         return fired
 
     # -- machine integration -----------------------------------------------------
@@ -170,6 +177,8 @@ class AsyncioLoop:
         return self.loop.call_later(delay_ms / 1000.0, callback)
 
     def set_interval(self, callback: Callable[[], None], period_ms: float) -> Any:
+        if period_ms <= 0:
+            raise ValueError("interval period must be positive")
         state = {"cancelled": False, "handle": None}
 
         def tick() -> None:

@@ -1,14 +1,20 @@
 """Runtime: the reactive machine and its constructive circuit simulator."""
 
-from repro.runtime.fleet import MachineFleet
+from repro.runtime.fleet import FleetIngress, MachineFleet
+from repro.runtime.ingress import LatencyEwma, Mailbox, TokenBucket, merge_inputs
 from repro.runtime.journal import FileJournal, JournalEntry, MemoryJournal
 from repro.runtime.machine import ReactiveMachine, ReactionResult, SNAPSHOT_FORMAT
 from repro.runtime.recovery import FleetSupervisor, MachineSupervisor
 
 __all__ = [
     "MachineFleet",
+    "FleetIngress",
     "ReactiveMachine",
     "ReactionResult",
+    "Mailbox",
+    "TokenBucket",
+    "LatencyEwma",
+    "merge_inputs",
     "JournalEntry",
     "MemoryJournal",
     "FileJournal",

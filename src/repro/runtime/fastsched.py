@@ -22,7 +22,7 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import CausalityError
+from repro.errors import CausalityError, ReactionBudgetExceeded
 from repro.compiler.netlist import ACTION, AND, EXPR, OR, Net
 from repro.compiler.plan import (
     KIND_ACTION,
@@ -68,6 +68,11 @@ class LevelizedScheduler:
             self._make_block(members, riders)
             for members, riders in zip(plan.blocks, plan.block_riders)
         )
+        #: reaction deadline, in net evaluations (None = unlimited); set
+        #: by the machine before each instant from its remaining budget
+        self.budget: Optional[int] = None
+        #: net evaluations spent by the last (possibly aborted) reaction
+        self.last_evaluated: int = 0
 
     # ------------------------------------------------------------------
 
@@ -77,6 +82,7 @@ class LevelizedScheduler:
     def react(self, input_values: Dict[int, bool]) -> None:
         """Run one reaction (same contract as the worklist scheduler)."""
         values = self.values
+        self._check_static_budget(len(values))
         values[:] = self._blank
         ok = self.plan.fn(
             values,
@@ -92,6 +98,33 @@ class LevelizedScheduler:
     def clear_state(self) -> None:
         """Reset all registers to their boot values (machine reset)."""
         self.state[:] = [net.init for net in self._registers]
+
+    def _check_static_budget(self, evaluations: int) -> None:
+        """Full sweeps evaluate a statically known net count, so the
+        deadline check is a single comparison *before* anything runs —
+        an over-budget sweep aborts cleanly at the instant boundary
+        (no payload fired, no register latched).  Relaxation-block
+        iterations are charged on top as they happen."""
+        self.last_evaluated = evaluations
+        if self.budget is not None and evaluations > self.budget:
+            raise ReactionBudgetExceeded(
+                f"reaction in {self.circuit.name} needs {evaluations} net "
+                f"evaluations, exceeding its {self.budget}-net budget",
+                budget=self.budget,
+                evaluated=evaluations,
+            )
+
+    def _charge_budget(self, evaluations: int) -> None:
+        """Charge mid-reaction work (relaxation sweeps) to the deadline."""
+        self.last_evaluated += evaluations
+        if self.budget is not None and self.last_evaluated > self.budget:
+            raise ReactionBudgetExceeded(
+                f"reaction in {self.circuit.name} exceeded its "
+                f"{self.budget}-net evaluation budget while relaxing a "
+                f"cyclic block",
+                budget=self.budget,
+                evaluated=self.last_evaluated,
+            )
 
     # ------------------------------------------------------------------
     # ternary relaxation (cyclic blocks and the divergence error path)
@@ -171,7 +204,7 @@ class LevelizedScheduler:
 
         def run() -> bool:
             while self._relax_pass(sweep):
-                pass
+                self._charge_budget(len(sweep))
             return all(values[net_id] is not UNKNOWN for net_id in members)
 
         return run
@@ -317,6 +350,7 @@ class SparseScheduler(LevelizedScheduler):
         self._need_full = True
         plan = self.plan
         values = self.values
+        self._check_static_budget(len(values))
         plan.fn(
             values,
             self.state,
@@ -383,8 +417,17 @@ class SparseScheduler(LevelizedScheduler):
         dirty_order: List[int] = []
         pending_latches: List[Tuple[int, Tuple[Tuple[int, bool, int], ...]]] = []
         bail_limit = self._bail_limit
+        budget = self.budget
         try:
             while heap:
+                if budget is not None and len(dirty_order) >= budget:
+                    self.last_evaluated = len(dirty_order)
+                    raise ReactionBudgetExceeded(
+                        f"reaction in {self.circuit.name} exceeded its "
+                        f"{budget}-net evaluation budget",
+                        budget=budget,
+                        evaluated=len(dirty_order),
+                    )
                 if len(dirty_order) >= bail_limit:
                     # Too much of the circuit is actually dirty: finish
                     # the reaction as a straight-line tail scan from the
@@ -444,6 +487,7 @@ class SparseScheduler(LevelizedScheduler):
 
         self._latch(pending_latches)
         self.last_dirty = dirty_order
+        self.last_evaluated = len(dirty_order)
 
     def _tail_scan(
         self,
@@ -470,6 +514,19 @@ class SparseScheduler(LevelizedScheduler):
         rank_order = plan.rank_order
         host = self.host
         hot = self._hot
+        if self.budget is not None:
+            # The tail evaluates exactly the remaining ranks, so the
+            # deadline check is one comparison up front, not per net.
+            total = len(dirty_order) + (len(rank_order) - start_rank)
+            if total > self.budget:
+                self.last_evaluated = len(dirty_order)
+                raise ReactionBudgetExceeded(
+                    f"reaction in {self.circuit.name} needs {total} net "
+                    f"evaluations after its tail-scan bailout, exceeding "
+                    f"its {self.budget}-net budget",
+                    budget=self.budget,
+                    evaluated=len(dirty_order),
+                )
         for pos in range(start_rank, len(rank_order)):
             i = rank_order[pos]
             old = values[i]

@@ -22,7 +22,8 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
+import time
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import FleetReactionError, MachineError
 from repro.lang import ast as A
@@ -30,6 +31,12 @@ from repro.compiler.compile import (
     CompiledModule,
     CompileOptions,
     compile_cached,
+)
+from repro.runtime.ingress import (
+    RATE_LIMITED,
+    LatencyEwma,
+    Mailbox,
+    TokenBucket,
 )
 from repro.runtime.machine import ModuleLike, ReactionResult, ReactiveMachine
 
@@ -223,4 +230,271 @@ class MachineFleet:
         return (
             f"MachineFleet({self.compiled.module.name}, "
             f"{len(self._machines)} members, backend={self.backend!r})"
+        )
+
+    def ingress(self, **kwargs: Any) -> "FleetIngress":
+        """Build a :class:`FleetIngress` admission-control front for this
+        fleet (keyword arguments forwarded to its constructor)."""
+        return FleetIngress(self, **kwargs)
+
+
+class FleetIngress:
+    """Admission control in front of a :class:`MachineFleet`: bounded
+    per-member mailboxes, a fleet-wide token-bucket rate limiter,
+    health-aware routing, and adaptive batch sizing.
+
+    The contract mirrors :class:`~repro.runtime.ingress.Mailbox`'s —
+    every offered input map is *admitted, coalesced, shed, rate-limited
+    or rejected by a recorded decision*; nothing is silently lost and
+    nothing buffers unboundedly, no matter the offered load.
+
+    :param fleet: the fleet (or a :class:`~repro.runtime.recovery.FleetSupervisor`
+        via ``supervisor``) whose members this ingress guards.
+    :param capacity: per-member mailbox capacity.
+    :param policy: per-member mailbox shedding policy (see
+        :data:`~repro.runtime.ingress.POLICIES`).
+    :param rate_per_s: fleet-wide sustained admission rate (offers per
+        second, one token each); ``None`` disables rate limiting.
+    :param burst: token-bucket capacity (defaults to one second's worth).
+    :param supervisor: optional :class:`~repro.runtime.recovery.FleetSupervisor`;
+        when given, pumping reacts through each member's supervisor
+        (rollback/retry on failure) and routing skips quarantined members.
+    :param target_latency_ms: adaptive batch-sizing target — when the
+        EWMA of per-instant react latency exceeds it, the pump batch
+        halves (down to ``min_batch``); when comfortably below (80 %),
+        the batch grows by one (up to ``max_batch``).
+    :param min_batch: smallest adaptive batch (members per pump round).
+    :param max_batch: largest adaptive batch (default: the fleet size).
+    :param ewma_alpha: smoothing factor of the latency EWMA.
+    :param budget: reaction deadline forwarded to every pumped react.
+    :param coalesce_on_pump: collapse each member's whole backlog into
+        one merged instant before reacting (the overload-flattening mode
+        the bench gate measures); ``False`` drains one queued map per
+        member per round instead.
+    """
+
+    def __init__(
+        self,
+        fleet: MachineFleet,
+        capacity: int = 64,
+        policy: str = "coalesce",
+        rate_per_s: Optional[float] = None,
+        burst: Optional[float] = None,
+        supervisor: Optional[Any] = None,
+        target_latency_ms: Optional[float] = None,
+        min_batch: int = 1,
+        max_batch: Optional[int] = None,
+        ewma_alpha: float = 0.2,
+        budget: Optional[Any] = None,
+        coalesce_on_pump: bool = True,
+    ):
+        self.fleet = fleet
+        self.supervisor = supervisor
+        self.budget = budget
+        self.coalesce_on_pump = coalesce_on_pump
+        self.mailboxes: List[Mailbox] = [
+            Mailbox.for_machine(machine, capacity=capacity, policy=policy)
+            for machine in fleet
+        ]
+        for machine, mailbox in zip(fleet, self.mailboxes):
+            machine.attach_mailbox(mailbox)
+        self.bucket: Optional[TokenBucket] = (
+            TokenBucket(rate_per_s, burst) if rate_per_s is not None else None
+        )
+        self.latency = LatencyEwma(ewma_alpha)
+        self.target_latency_ms = target_latency_ms
+        if min_batch < 1:
+            raise ValueError("min_batch must be >= 1")
+        self.min_batch = min_batch
+        self.max_batch = max_batch if max_batch is not None else max(1, len(fleet))
+        if self.max_batch < self.min_batch:
+            raise ValueError("max_batch must be >= min_batch")
+        #: current adaptive batch size (members reacted per pump round)
+        self.batch_size = self.max_batch
+        self._cursor = 0
+        #: member index → exception, for the most recent pump round
+        self.last_failures: Dict[int, BaseException] = {}
+        self.stats_counters: Dict[str, int] = {
+            "offered": 0,
+            "rate_limited": 0,
+            "pumped": 0,
+            "pump_failures": 0,
+            "backoffs": 0,
+            "rampups": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self.mailboxes)
+
+    # -- health-aware membership ----------------------------------------
+
+    def is_healthy(self, index: int) -> bool:
+        """A member is routable unless its supervisor quarantined it or
+        one of its registered circuit breakers is open."""
+        if self.supervisor is not None and self.supervisor.members[index].quarantined:
+            return False
+        breakers = self.fleet[index].health["breakers"]
+        return all(b.get("state") != "open" for b in breakers.values())
+
+    def healthy_members(self) -> List[int]:
+        return [i for i in range(len(self.fleet)) if self.is_healthy(i)]
+
+    # -- admission -------------------------------------------------------
+
+    def offer(
+        self, index: int, inputs: Mapping[str, Any], now_ms: float = 0.0
+    ) -> str:
+        """Offer one input map to member ``index``; returns the recorded
+        admission decision (including :data:`~repro.runtime.ingress.RATE_LIMITED`
+        when the token bucket refuses — the offer never reaches the
+        mailbox but is still on the record)."""
+        self.stats_counters["offered"] += 1
+        if self.bucket is not None and not self.bucket.try_acquire(now_ms):
+            self.stats_counters["rate_limited"] += 1
+            return RATE_LIMITED
+        return self.mailboxes[index].offer(inputs)
+
+    def offer_all(
+        self, inputs: Mapping[str, Any], now_ms: float = 0.0
+    ) -> Dict[int, str]:
+        """Offer the same map to every *healthy* member (one token each);
+        returns the per-member decisions."""
+        return {
+            index: self.offer(index, inputs, now_ms)
+            for index in self.healthy_members()
+        }
+
+    def route(
+        self, inputs: Mapping[str, Any], now_ms: float = 0.0
+    ) -> Tuple[int, str]:
+        """Admit one map to the least-loaded healthy member (fewest
+        pending mailbox entries, lowest index breaking ties).  Returns
+        ``(member index, decision)``."""
+        healthy = self.healthy_members()
+        if not healthy:
+            raise MachineError(
+                "no healthy fleet member to route to (all quarantined or "
+                "breaker-open)"
+            )
+        index = min(healthy, key=lambda i: (self.mailboxes[i].pending, i))
+        return index, self.offer(index, inputs, now_ms)
+
+    # -- draining --------------------------------------------------------
+
+    def _react_member(
+        self, index: int, inputs: Dict[str, Any]
+    ) -> ReactionResult:
+        if self.supervisor is not None:
+            return self.supervisor.members[index].react(inputs, budget=self.budget)
+        return self.fleet[index].react(inputs, budget=self.budget)
+
+    def pump(self, clock: Callable[[], float] = time.perf_counter) -> Dict[int, ReactionResult]:
+        """One adaptive pump round: drive up to :attr:`batch_size`
+        healthy members with pending mail (round-robin, so a noisy member
+        cannot starve the rest), one instant each.  With
+        ``coalesce_on_pump`` the member's whole backlog is first
+        collapsed into one merged instant.  Failures are collected in
+        :attr:`last_failures` without aborting the round; react latency
+        feeds the EWMA and resizes the next round's batch."""
+        size = len(self.mailboxes)
+        chosen: List[int] = []
+        for step in range(size):
+            index = (self._cursor + step) % size
+            if self.mailboxes[index].pending and self.is_healthy(index):
+                chosen.append(index)
+                if len(chosen) >= self.batch_size:
+                    break
+        self._cursor = (chosen[-1] + 1) % size if chosen else self._cursor
+        results: Dict[int, ReactionResult] = {}
+        failures: Dict[int, BaseException] = {}
+        for index in chosen:
+            mailbox = self.mailboxes[index]
+            if self.coalesce_on_pump:
+                mailbox.collapse()
+            inputs = mailbox.take()
+            started = clock()
+            try:
+                results[index] = self._react_member(index, inputs)
+                self.stats_counters["pumped"] += 1
+            except Exception as err:
+                failures[index] = err
+                self.stats_counters["pump_failures"] += 1
+            finally:
+                self.latency.observe((clock() - started) * 1000.0)
+        self.last_failures = failures
+        self._resize_batch()
+        return results
+
+    def pump_all(
+        self,
+        max_rounds: int = 1_000_000,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> Dict[int, ReactionResult]:
+        """Pump until every healthy member's mailbox is empty (or
+        ``max_rounds`` rounds); returns each member's *last* result."""
+        results: Dict[int, ReactionResult] = {}
+        for _ in range(max_rounds):
+            if not any(
+                self.mailboxes[i].pending for i in self.healthy_members()
+            ):
+                break
+            results.update(self.pump(clock))
+        return results
+
+    def _resize_batch(self) -> None:
+        if self.target_latency_ms is None or self.latency.value is None:
+            return
+        if self.latency.value > self.target_latency_ms:
+            shrunk = max(self.min_batch, self.batch_size // 2)
+            if shrunk < self.batch_size:
+                self.stats_counters["backoffs"] += 1
+            self.batch_size = shrunk
+        elif (
+            self.latency.value < 0.8 * self.target_latency_ms
+            and self.batch_size < self.max_batch
+        ):
+            self.batch_size += 1
+            self.stats_counters["rampups"] += 1
+
+    # -- accounting ------------------------------------------------------
+
+    def check_accounting(self) -> None:
+        """Assert the zero-silent-drop invariant across every member
+        mailbox plus the ingress-level rate-limit record."""
+        for mailbox in self.mailboxes:
+            mailbox.check_accounting()
+        c = self.stats_counters
+        reaching = sum(m.stats["offered"] for m in self.mailboxes)
+        if c["offered"] != reaching + c["rate_limited"]:
+            raise MachineError(
+                f"fleet ingress accounting violated: offered {c['offered']} "
+                f"!= mailbox-offered {reaching} + rate-limited "
+                f"{c['rate_limited']}"
+            )
+
+    def stats(self) -> Dict[str, Any]:
+        totals: Dict[str, int] = {
+            "admitted": 0, "coalesced": 0, "rejected": 0, "dropped": 0,
+        }
+        pending = 0
+        for mailbox in self.mailboxes:
+            for key in totals:
+                totals[key] += mailbox.stats[key]
+            pending += mailbox.pending
+        shed = totals["rejected"] + totals["dropped"]
+        return {
+            **self.stats_counters,
+            **totals,
+            "shed": shed,
+            "pending": pending,
+            "batch_size": self.batch_size,
+            "latency_ewma_ms": self.latency.value,
+            "healthy": len(self.healthy_members()),
+            "members": len(self.mailboxes),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetIngress({len(self.mailboxes)} members, "
+            f"batch={self.batch_size}, {self.stats_counters})"
         )

@@ -27,6 +27,7 @@ supervised retry.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import MachineError
@@ -161,11 +162,18 @@ class FileJournal(MemoryJournal):
 
     Inputs and exec values must be JSON-serializable; ``truncate`` and
     ``rewind`` compact by rewriting the file.
+
+    ``fsync=True`` additionally forces every write to stable storage
+    (``os.fsync``) before the reaction runs, surviving OS/power failure
+    at a heavy per-instant cost; the default ``False`` flushes to the OS
+    only, which survives *process* death — the failure mode the
+    supervisor stack actually recovers from (see docs/resilience.md).
     """
 
-    def __init__(self, path: Any):
+    def __init__(self, path: Any, fsync: bool = False):
         super().__init__()
         self.path = path
+        self.fsync = fsync
         self._fh = None
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -182,22 +190,30 @@ class FileJournal(MemoryJournal):
             pass
         self._fh = open(path, "a", encoding="utf-8")
 
+    def _sync(self) -> None:
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
     def append(self, entry: JournalEntry) -> None:
         super().append(entry)
         self._fh.write(json.dumps(entry.to_json()) + "\n")
-        self._fh.flush()
+        self._sync()
 
     def commit(self, seq: int) -> None:
         super().commit(seq)
         # append-only commit record; compaction happens on rewrite
         self._fh.write(json.dumps({"commit": seq}) + "\n")
-        self._fh.flush()
+        self._sync()
 
     def _rewrite(self) -> None:
         self._fh.close()
         with open(self.path, "w", encoding="utf-8") as fh:
             for entry in self._entries:
                 fh.write(json.dumps(entry.to_json()) + "\n")
+            if self.fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
         self._fh = open(self.path, "a", encoding="utf-8")
 
     def truncate(self, before_seq: int) -> int:

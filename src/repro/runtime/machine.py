@@ -29,17 +29,30 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
 
-from repro.errors import MachineError, SignalError, SnapshotError
+from repro.errors import (
+    MachineError,
+    ReactionBudgetExceeded,
+    SignalError,
+    SnapshotError,
+)
 from repro.lang import ast as A
 from repro.lang import expr as E
 from repro.compiler.compile import CompiledModule, CompileOptions, compile_cached
 from repro.runtime.execblock import ExecFailure, ExecHandle, ExecState
 from repro.runtime.fastsched import LevelizedScheduler, SparseScheduler
+from repro.runtime.ingress import Mailbox
 from repro.runtime.journal import JournalEntry
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.signal import RuntimeSignal, SignalView
 
 BACKENDS = ("auto", "sparse", "levelized", "worklist")
+
+#: the ``reaction_budget="auto"`` deadline, in full-sweep equivalents:
+#: generous enough that no legitimate instant (even a bailed-out sparse
+#: reaction plus a long-but-finite deferred chain) comes near it, tight
+#: enough that a runaway deferred-reaction loop aborts after a bounded
+#: amount of work instead of hanging the host loop.
+AUTO_BUDGET_SWEEPS = 64
 
 #: version tag of the :meth:`ReactiveMachine.snapshot` payload layout
 SNAPSHOT_FORMAT = 1
@@ -164,6 +177,7 @@ class ReactiveMachine:
         loop: Optional[Any] = None,
         on_exec_error: Union[str, Callable[[ExecFailure], None]] = "raise",
         backend: str = "auto",
+        reaction_budget: Union[None, int, str] = None,
     ):
         if isinstance(module, CompiledModule):
             self.compiled = module
@@ -239,6 +253,16 @@ class ReactiveMachine:
         self._failed_reactions = 0
         self._exec_failures = 0
         self._breakers: Dict[str, Any] = {}
+
+        #: default reaction deadline, in net evaluations per :meth:`react`
+        #: call (covering the instant *and* any deferred sub-instants it
+        #: queues): ``None`` = unlimited, ``"auto"`` = a generous multiple
+        #: of the circuit's full-sweep cost, or an explicit positive int.
+        self.reaction_budget = reaction_budget
+        self._budget_left: Optional[int] = None
+        self._budget_aborts = 0
+        #: attached bounded ingress mailbox (see :meth:`attach_mailbox`)
+        self._mailbox: Optional[Mailbox] = None
 
         self._boot_values()
 
@@ -316,27 +340,120 @@ class ReactiveMachine:
     # the public reaction API
     # ------------------------------------------------------------------
 
-    def react(self, inputs: Optional[Dict[str, Any]] = None) -> ReactionResult:
+    def react(
+        self,
+        inputs: Optional[Dict[str, Any]] = None,
+        budget: Union[None, int, str] = None,
+    ) -> ReactionResult:
         """Run one atomic reaction with the given input signals present.
 
         ``inputs`` maps input-signal names to their emitted values (use
         ``True`` for pure presence).  Returns the present outputs.
+
+        ``budget`` (default: the machine's :attr:`reaction_budget`) is a
+        reaction deadline in net evaluations, spent across this instant
+        *and* every deferred sub-instant it queues; exhausting it aborts
+        the runaway instant with a recoverable
+        :class:`~repro.errors.ReactionBudgetExceeded`.
         """
         if self._reacting:
             raise MachineError(
                 "reentrant react(): reactions are atomic; use this.react() "
                 "from async bodies to queue one"
             )
+        limit = self._resolve_budget(budget)
+        self._budget_left = limit
         try:
             result = self._react_once(inputs or {})
             # Serve reactions queued by notify()/this.react() during this one.
             while self._deferred:
+                if self._budget_left is not None and self._budget_left <= 0:
+                    raise ReactionBudgetExceeded(
+                        f"machine {self.name!r} exhausted its {limit}-net "
+                        f"reaction budget with {len(self._deferred)} deferred "
+                        f"reaction(s) still queued (runaway instant)",
+                        budget=limit,
+                        evaluated=limit - self._budget_left,
+                    )
                 self._react_once(self._deferred.pop(0))
-        except Exception:
+        except Exception as err:
             self._failed_reactions += 1
+            if isinstance(err, ReactionBudgetExceeded):
+                self._budget_aborts += 1
             self._deferred.clear()
             raise
+        finally:
+            self._budget_left = None
         return result
+
+    def _resolve_budget(self, budget: Union[None, int, str]) -> Optional[int]:
+        if budget is None:
+            budget = self.reaction_budget
+        if budget is None:
+            return None
+        if budget == "auto":
+            return AUTO_BUDGET_SWEEPS * len(self.compiled.circuit.nets)
+        limit = int(budget)
+        if limit <= 0:
+            raise MachineError(
+                f"reaction budget must be a positive net-evaluation count, "
+                f"got {budget!r}"
+            )
+        return limit
+
+    # ------------------------------------------------------------------
+    # bounded ingress (see repro.runtime.ingress)
+    # ------------------------------------------------------------------
+
+    def attach_mailbox(
+        self,
+        mailbox: Optional[Mailbox] = None,
+        capacity: int = 64,
+        policy: str = "coalesce",
+    ) -> Mailbox:
+        """Attach a bounded ingress :class:`~repro.runtime.ingress.Mailbox`
+        in front of this machine (default: one built by
+        :meth:`Mailbox.for_machine`, whose coalescing respects the
+        machine's declared combine functions).  Returns the mailbox."""
+        if mailbox is None:
+            mailbox = Mailbox.for_machine(self, capacity=capacity, policy=policy)
+        self._mailbox = mailbox
+        return mailbox
+
+    @property
+    def mailbox(self) -> Optional[Mailbox]:
+        return self._mailbox
+
+    def offer(self, inputs: Optional[Dict[str, Any]] = None) -> str:
+        """Offer an input map to the attached mailbox instead of reacting
+        immediately; returns the recorded admission decision.  Drain with
+        :meth:`pump`.  Requires :meth:`attach_mailbox` first."""
+        if self._mailbox is None:
+            raise MachineError(
+                f"machine {self.name!r} has no mailbox; call attach_mailbox() "
+                "before offer()"
+            )
+        return self._mailbox.offer(inputs or {})
+
+    def pump(
+        self,
+        max_instants: Optional[int] = None,
+        budget: Union[None, int, str] = None,
+    ) -> List[ReactionResult]:
+        """React through the pending mailbox entries, oldest first, up to
+        ``max_instants`` (default: all pending).  Returns the results, one
+        per admitted instant."""
+        if self._mailbox is None:
+            raise MachineError(
+                f"machine {self.name!r} has no mailbox; call attach_mailbox() "
+                "before pump()"
+            )
+        results: List[ReactionResult] = []
+        remaining = max_instants if max_instants is not None else self._mailbox.pending
+        while remaining > 0 and self._mailbox.pending:
+            results.append(self.react(self._mailbox.take(), budget=budget))
+            remaining -= 1
+        return results
 
     def _react_once(self, inputs: Dict[str, Any]) -> ReactionResult:
         # Write-ahead journaling: record the instant's inputs *and* the
@@ -360,10 +477,19 @@ class ReactiveMachine:
                     ],
                 )
             )
-        if self._sparse:
-            result = self._react_once_sparse(inputs)
-        else:
-            result = self._react_once_classic(inputs)
+        # Reaction deadline: the scheduler charges net evaluations against
+        # the remaining budget of this react() call; whatever one
+        # (sub-)instant spends is deducted before the next one runs.
+        self._scheduler.budget = self._budget_left
+        try:
+            if self._sparse:
+                result = self._react_once_sparse(inputs)
+            else:
+                result = self._react_once_classic(inputs)
+        finally:
+            if self._budget_left is not None:
+                self._budget_left -= self._scheduler.last_evaluated
+            self._scheduler.budget = None
         if journal is not None:
             journal.commit(seq)
         return result
@@ -615,6 +741,7 @@ class ReactiveMachine:
         self._counters = [0] * len(self._counters)
         self._failed_reactions = 0
         self._exec_failures = 0
+        self._budget_aborts = 0
         for signal in self._signals:
             signal.now = signal.pre = False
             signal.nowval = signal.preval = None
@@ -1042,6 +1169,7 @@ class ReactiveMachine:
             "reactions": self.reaction_count,
             "failed_reactions": self._failed_reactions,
             "exec_failures": self._exec_failures,
+            "budget_aborts": self._budget_aborts,
             "execs_running": sum(1 for state in self._execs if state.running),
             "exec_errors": exec_errors,
             "breakers": {name: b.snapshot() for name, b in self._breakers.items()},

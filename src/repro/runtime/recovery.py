@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import MachineError
+from repro.errors import MachineError, ReactionBudgetExceeded
 from repro.runtime.journal import MemoryJournal
 from repro.runtime.machine import ReactionResult, ReactiveMachine
 
@@ -72,6 +72,7 @@ class MachineSupervisor:
             "recoveries": 0,
             "checkpoints": 0,
             "quarantines": 0,
+            "budget_aborts": 0,
         }
         self._checkpoint = self.checkpoint()
 
@@ -92,11 +93,21 @@ class MachineSupervisor:
 
     # -- supervised reactions --------------------------------------------
 
-    def react(self, inputs: Optional[Dict[str, Any]] = None) -> ReactionResult:
+    def react(
+        self,
+        inputs: Optional[Dict[str, Any]] = None,
+        budget: Optional[Any] = None,
+    ) -> ReactionResult:
         """One supervised instant: on failure, roll the machine back to
         the pre-instant boundary and retry up to ``max_retries`` times;
         persistent identical failures quarantine the machine (the
-        exception still propagates so callers see the poison input)."""
+        exception still propagates so callers see the poison input).
+
+        A :class:`~repro.errors.ReactionBudgetExceeded` abort (the
+        machine's reaction deadline, or an explicit ``budget`` for this
+        call) takes the same rollback path: the runaway instant is undone
+        to the pre-instant boundary, and identical repeats quarantine the
+        member as poisoned."""
         if self.quarantined:
             raise MachineError(
                 f"machine {self.machine.name!r} is quarantined after "
@@ -108,8 +119,10 @@ class MachineSupervisor:
         attempts = 0
         while True:
             try:
-                result = self.machine.react(inputs)
+                result = self.machine.react(inputs, budget=budget)
             except Exception as err:
+                if isinstance(err, ReactionBudgetExceeded):
+                    self.stats["budget_aborts"] += 1
                 self._record_failure(err)
                 self._rollback_to(base_seq)
                 if attempts < self.max_retries:

@@ -27,7 +27,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import CausalityError
+from repro.errors import CausalityError, ReactionBudgetExceeded
 from repro.compiler.netlist import AND, EXPR, INPUT, OR, REG, Circuit, Net
 
 UNKNOWN = None
@@ -99,6 +99,12 @@ class Scheduler:
         self._pending_deps: List[int] = list(self._dep_count)
         self._queue: deque = deque()
 
+        #: reaction deadline, in net evaluations (None = unlimited); set
+        #: by the machine before each instant from its remaining budget
+        self.budget: Optional[int] = None
+        #: net evaluations spent by the last (possibly aborted) reaction
+        self.last_evaluated: int = 0
+
         values = self.values
         append = self._queue.append
 
@@ -146,7 +152,18 @@ class Scheduler:
             settle(net_id, value)
 
         # 3. propagate to fixpoint.
+        budget = self.budget
+        evaluated = 0
         while queue:
+            evaluated += 1
+            if budget is not None and evaluated > budget:
+                self.last_evaluated = evaluated
+                raise ReactionBudgetExceeded(
+                    f"reaction in {self.circuit.name} exceeded its "
+                    f"{budget}-net evaluation budget",
+                    budget=budget,
+                    evaluated=evaluated,
+                )
             net_id = queue.popleft()
             value = values[net_id]
             for consumer_id, negated, code in fanouts[net_id]:
@@ -178,6 +195,8 @@ class Scheduler:
                 self._pending_deps[waiter_id] -= 1
                 if values[waiter_id] is UNKNOWN and unknown[waiter_id] == 0:
                     self._maybe_fire(waiter_id, settle)
+
+        self.last_evaluated = evaluated
 
         # 4. completeness check: constructive programs stabilize fully.
         unresolved = [net for net in nets if values[net.id] is UNKNOWN]

@@ -123,6 +123,51 @@ def input_traces(draw, max_len: int = 6) -> List[set]:
 
 
 # ---------------------------------------------------------------------------
+# bursty input schedules (overload / durability testing)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def bursty_schedules(
+    draw,
+    signals: tuple = INPUTS,
+    values=None,
+    max_bursts: int = 4,
+    max_burst_size: int = 6,
+    max_gap_ms: float = 200.0,
+):
+    """A bursty traffic shape: ``[(at_ms, inputs_dict), ...]`` sorted by
+    time — bursts of back-to-back input maps (same timestamp) separated
+    by inter-burst gaps, each map drawing a non-empty subset of
+    ``signals``.  ``values`` (a strategy, default small ints) supplies
+    signal values so coalescing paths with combine functions get
+    exercised; shared by the overload and durability property tests.
+    """
+    if values is None:
+        values = st.integers(min_value=0, max_value=9)
+    bursts = draw(st.integers(min_value=1, max_value=max_bursts))
+    schedule = []
+    at_ms = 0.0
+    for _ in range(bursts):
+        at_ms += draw(
+            st.floats(
+                min_value=1.0, max_value=max_gap_ms,
+                allow_nan=False, allow_infinity=False,
+            )
+        )
+        burst_size = draw(st.integers(min_value=1, max_value=max_burst_size))
+        for _ in range(burst_size):
+            subset = draw(
+                st.sets(
+                    st.sampled_from(signals), min_size=1, max_size=len(signals)
+                )
+            )
+            inputs = {name: draw(values) for name in sorted(subset)}
+            schedule.append((at_ms, inputs))
+    return schedule
+
+
+# ---------------------------------------------------------------------------
 # printable statements (round-trip testing)
 # ---------------------------------------------------------------------------
 

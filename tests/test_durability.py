@@ -42,7 +42,7 @@ from repro.host import AuthService, CircuitBreaker, MachineCrasher, SimulatedLoo
 from repro.runtime.fleet import MachineFleet
 from repro.runtime.journal import FileJournal, JournalEntry
 from repro.runtime.recovery import FleetSupervisor
-from tests.strategies import input_traces, pure_modules
+from tests.strategies import bursty_schedules, input_traces, pure_modules
 
 BACKENDS = ("worklist", "levelized", "sparse")
 
@@ -201,6 +201,40 @@ class TestJournalSinks:
         assert [(e.seq, e.committed) for e in j3.entries()] == [(0, True)]
         j3.close()
 
+    def test_file_journal_fsync_flag(self, tmp_path, monkeypatch):
+        """``fsync=True`` forces stable storage on every append, commit
+        and compaction rewrite; the default ``False`` never fsyncs (see
+        docs/resilience.md for the durability trade-off)."""
+        import os as os_module
+
+        import repro.runtime.journal as journal_module
+
+        synced = []
+        monkeypatch.setattr(
+            journal_module.os, "fsync", lambda fd: synced.append(fd)
+        )
+        assert journal_module.os is os_module  # patched at the use site
+
+        lazy = FileJournal(tmp_path / "lazy.journal")
+        lazy.append(JournalEntry(0, {"tick": True}))
+        lazy.commit(0)
+        lazy.close()
+        assert synced == []
+        assert lazy.fsync is False
+
+        eager = FileJournal(tmp_path / "eager.journal", fsync=True)
+        eager.append(JournalEntry(0, {"tick": True}))
+        eager.commit(0)
+        eager.rewind(0)  # compaction rewrite also syncs
+        eager.close()
+        assert len(synced) == 3
+
+        reopened = FileJournal(tmp_path / "eager.journal", fsync=True)
+        assert reopened.entries() == []
+        reopened.append(JournalEntry(5, {"tick": True}))
+        assert len(synced) == 4
+        reopened.close()
+
     def test_file_journal_drives_recovery(self, tmp_path):
         """A machine journaling to disk can be recovered by a 'new
         process': fresh machine + snapshot file + journal file."""
@@ -325,6 +359,26 @@ def test_supervised_recovery_equals_unkilled_run(module, trace, data):
     assert observed == reference_obs
 
 
+@settings(**_SETTINGS)
+@given(schedule=bursty_schedules(signals=("tick", "reset"), values=st.just(True)))
+def test_bursty_schedule_replay_round_trip(schedule):
+    """Durability under bursty traffic (strategy shared with the overload
+    suite): journal a bursty Count run, then restore the pre-run snapshot
+    on a fresh machine of another backend and replay — byte-identical
+    final state, burst or no burst."""
+    module = parse_module(COUNTER_SOURCE)
+    machine = ReactiveMachine(module)
+    journal = machine.attach_journal(MemoryJournal())
+    base = machine.snapshot()
+    for _at_ms, inputs in schedule:
+        machine.react(dict(inputs))
+
+    fresh = ReactiveMachine(module, backend="levelized")
+    fresh.restore(base)
+    fresh.replay(journal.entries())
+    assert fresh.snapshot() == machine.snapshot()
+
+
 # ---------------------------------------------------------------------------
 # reset satellites
 # ---------------------------------------------------------------------------
@@ -408,6 +462,64 @@ class TestFleetReactionError:
             fleet.broadcast(make_inputs)
         assert info.value.completed == [0, 1]
         assert isinstance(info.value.failures[2], ValueError)
+
+    def test_mixed_partial_failures_exact_indices(self):
+        """The mixed case: in one batch instant, some members succeed,
+        one raises (injected crash), and one is quarantined (its
+        supervisor refuses after repeated budget aborts).  The collected
+        FleetReactionError must name the completed and failed indices
+        exactly, with the right exception type per failure."""
+        from repro.errors import ReactionBudgetExceeded
+
+        fleet = self._fleet(size=5)
+
+        # Member 1: dies on its next react.
+        MachineCrasher(fleet[1], seed=0).kill_between_instants()
+
+        # Member 3: quarantined by its supervisor after identical
+        # runaway-instant (budget) failures; route the fleet's reacts
+        # through the supervisor so the quarantine actually gates them.
+        poisoned = MachineSupervisor(
+            fleet[3], max_retries=0, quarantine_after=1
+        )
+        with pytest.raises(ReactionBudgetExceeded):
+            poisoned.react({"tick": True}, budget=1)
+        assert poisoned.quarantined
+
+        def supervised_react(inputs=None, **kwargs):
+            # un-shadow while the supervisor drives the real react
+            del fleet[3].__dict__["react"]
+            try:
+                return poisoned.react(inputs, **kwargs)
+            finally:
+                fleet[3].__dict__["react"] = supervised_react
+
+        fleet[3].__dict__["react"] = supervised_react
+
+        with pytest.raises(FleetReactionError) as info:
+            fleet.react_all({"tick": True})
+        err = info.value
+        assert err.completed == [0, 2, 4]
+        assert sorted(err.failures) == [1, 3]
+        assert isinstance(err.failures[1], CrashError)
+        assert isinstance(err.failures[3], MachineError)
+        assert "quarantined" in str(err.failures[3])
+        oracle = _count_outputs(1)[0]
+        for index in (0, 2, 4):
+            assert dict(err.results[index]) == oracle
+            assert fleet[index].reaction_count == 1
+        for index in (1, 3):
+            assert err.results[index] is None
+            assert fleet[index].reaction_count == 0
+
+        # recovery: revive the quarantined member and re-arm the crash;
+        # the next batch completes for everyone but the dead member
+        poisoned.revive()
+        MachineCrasher(fleet[1], seed=0).kill_between_instants()
+        with pytest.raises(FleetReactionError) as info:
+            fleet.react_all({"tick": True})
+        assert info.value.completed == [0, 2, 3, 4]
+        assert sorted(info.value.failures) == [1]
 
 
 # ---------------------------------------------------------------------------

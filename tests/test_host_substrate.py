@@ -37,6 +37,43 @@ class TestSimulatedLoop:
     def test_clear_is_none_safe(self):
         SimulatedLoop().clear_interval(None)
 
+    @pytest.mark.parametrize("period", (0, -1, -0.5))
+    def test_interval_rejects_non_positive_period(self, period):
+        """Regression: a zero/negative period would spin the heap forever
+        on the first advance()."""
+        with pytest.raises(ValueError):
+            SimulatedLoop().set_interval(lambda: None, period)
+
+    @pytest.mark.parametrize("period", (0, -1))
+    def test_asyncio_interval_rejects_non_positive_period(self, period):
+        import asyncio
+
+        from repro.host import AsyncioLoop
+
+        async def check():
+            loop = AsyncioLoop()
+            with pytest.raises(ValueError):
+                loop.set_interval(lambda: None, period)
+
+        asyncio.run(check())
+
+    def test_advance_rejects_negative_delta(self):
+        """Regression: virtual time is monotone; advancing backwards
+        silently corrupted the timer heap ordering."""
+        loop = SimulatedLoop()
+        loop.advance(100)
+        with pytest.raises(ValueError):
+            loop.advance(-1)
+        assert loop.now_ms == 100.0
+        assert loop.advance(0) == 0  # draining due work stays legal
+
+    def test_run_until_idle_handles_past_due_timers(self):
+        loop = SimulatedLoop()
+        fired = []
+        loop.set_timeout(lambda: loop.set_timeout(lambda: fired.append(1), -5), 10)
+        loop.run_until_idle(max_ms=100)
+        assert fired == [1]
+
     def test_timers_fire_in_order(self):
         loop = SimulatedLoop()
         order = []
