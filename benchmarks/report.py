@@ -342,6 +342,28 @@ def o1():
     print(f"  wrote {bench_overload.BENCH_JSON.name}")
 
 
+def s1():
+    print("\nS1 - sharded fleets (multi-process react_all + live migration)")
+    import bench_shard
+
+    if PROFILE["fleet_size"] < FULL["fleet_size"]:
+        bench_shard.PROFILE.update(bench_shard.QUICK)
+    bench_shard.test_live_migration_within_reaction_budget()
+    bench_shard.test_sharded_react_all_throughput()
+    data = json.loads(bench_shard.BENCH_JSON.read_text())
+    mig, thr = data["migration"], data["throughput"]
+    print(f"  migration: {mig['migration_ms']:.3f} ms = {mig['ratio']:.1f}x "
+          f"one sharded steady reaction ({mig['steady_reaction_ms']:.4f} ms; "
+          f"gate {mig['gate']:.0f}x); snapshot {mig['snapshot_bytes']} B")
+    enforced = "enforced" if thr["gate_enforced"] else "recorded only"
+    print(f"  throughput: {thr['members']} members x {thr['instants']} "
+          f"instants over {thr['shards']} shards: "
+          f"{thr['speedup']:.2f}x single-process on "
+          f"{thr['usable_cores']} core(s) (gate {thr['gate']:.1f}x, "
+          f"{enforced})")
+    print(f"  wrote {bench_shard.BENCH_JSON.name}")
+
+
 def a1():
     print("\nA1 - optimizer ablation (nets raw -> optimized)")
     from repro.apps.login import login_table
@@ -374,4 +396,5 @@ if __name__ == "__main__":
     r1()
     r2()
     o1()
+    s1()
     a1()

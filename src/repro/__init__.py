@@ -33,9 +33,11 @@ from repro.errors import (
     OverloadError,
     ParseError,
     ReactionBudgetExceeded,
+    ShardError,
     SignalError,
     SnapshotError,
     ValidationError,
+    WorkerDied,
 )
 from repro.lang import ast, dsl, expr
 from repro.lang.ast import Module, ModuleTable
@@ -57,7 +59,9 @@ from repro.runtime import (
     MemoryJournal,
     ReactionResult,
     ReactiveMachine,
+    ShardManager,
     TokenBucket,
+    TornJournalWarning,
 )
 from repro.syntax import parse_expression, parse_module, parse_program, parse_statement
 
@@ -72,8 +76,10 @@ __all__ = [
     "TokenBucket",
     "MachineSupervisor",
     "FleetSupervisor",
+    "ShardManager",
     "MemoryJournal",
     "FileJournal",
+    "TornJournalWarning",
     "Module",
     "ModuleTable",
     "SignalDecl",
@@ -104,5 +110,7 @@ __all__ = [
     "CrashError",
     "OverloadError",
     "ReactionBudgetExceeded",
+    "ShardError",
+    "WorkerDied",
     "__version__",
 ]

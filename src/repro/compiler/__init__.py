@@ -6,6 +6,8 @@ from repro.compiler.compile import (
     compile_cache_stats,
     compile_cached,
     compile_module,
+    hydrate_plan_artifact,
+    plan_artifact,
 )
 
 __all__ = [
@@ -14,4 +16,6 @@ __all__ = [
     "compile_cache_stats",
     "clear_compile_cache",
     "CompileOptions",
+    "plan_artifact",
+    "hydrate_plan_artifact",
 ]

@@ -8,9 +8,10 @@ back half (the reactive machine wrapping the circuit simulator) lives in
 from __future__ import annotations
 
 import hashlib
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.lang import ast as A
 from repro.lang import expr as E
@@ -259,3 +260,109 @@ def clear_compile_cache() -> None:
 def compile_cache_stats() -> Dict[str, int]:
     """Hit/miss/uncacheable counters plus the current entry count."""
     return {**_cache_stats, "entries": len(_cache)}
+
+
+# ---------------------------------------------------------------------------
+# plan artifacts (worker cold start)
+# ---------------------------------------------------------------------------
+
+#: version tag of the :func:`plan_artifact` payload layout
+PLAN_ARTIFACT_FORMAT = 1
+
+
+def plan_artifact(
+    module: A.Module,
+    modules: Optional[A.ModuleTable] = None,
+    options: Optional[CompileOptions] = None,
+) -> bytes:
+    """Serialize everything a worker process needs to rebuild this
+    compiled module — the module AST, its resolution table, and the
+    compile options — plus the structural fingerprint the rebuild must
+    land on.
+
+    A compiled :class:`CompiledModule` itself cannot cross a process
+    boundary (its circuit embeds closures), but compilation is a pure
+    function of the sources, so shipping the AST and recompiling through
+    :func:`compile_cached` on the far side reproduces the *same*
+    fingerprint — which is what makes snapshots, journals, and live
+    machine migration portable between shard workers.
+
+    Only *portable* modules qualify: the AST must be renderable (the
+    structural key exists) and must embed no host callables, because a
+    callable's identity cannot survive pickling into another process —
+    two workers would compute different fingerprints and refuse each
+    other's snapshots.  Host callables passed by *name* through
+    ``host_globals`` are fine (they are resolved per machine, not hashed
+    into the fingerprint).  Raises
+    :class:`~repro.errors.ShardError` for non-portable modules.
+    """
+    from repro.errors import ShardError
+
+    embedded = _embedded_callables(module)
+    if modules is not None:
+        for name in modules.names():
+            embedded.extend(_embedded_callables(modules.get(name)))
+    if embedded:
+        raise ShardError(
+            f"module {module.name!r} embeds {len(embedded)} host "
+            "callable(s) in its AST; its compile fingerprint cannot be "
+            "reproduced in another process.  Pass host functions by name "
+            "via host_globals, or hand the ShardManager a factory spec "
+            "instead of an artifact."
+        )
+    fingerprint = _structural_key(module, modules, options)
+    if fingerprint is None:
+        raise ShardError(
+            f"module {module.name!r} is not renderable; cannot build a "
+            "portable plan artifact for it"
+        )
+    payload = {
+        "format": PLAN_ARTIFACT_FORMAT,
+        "module": module,
+        "modules": modules,
+        "options": options,
+        "fingerprint": fingerprint,
+    }
+    try:
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as err:
+        raise ShardError(
+            f"module {module.name!r} could not be pickled into a plan "
+            f"artifact: {err}"
+        ) from err
+
+
+def hydrate_plan_artifact(data: bytes) -> CompiledModule:
+    """Rebuild a :class:`CompiledModule` from a :func:`plan_artifact`
+    payload, through the structural compile cache (so every machine a
+    worker hosts shares the one compiled circuit and evaluation plan).
+
+    Verifies the recompiled fingerprint matches the one recorded at
+    artifact creation — a mismatch means the two processes would
+    disagree about snapshot compatibility, which must fail loudly here
+    rather than corrupt a restore later.
+    """
+    from repro.errors import ShardError
+
+    try:
+        payload = pickle.loads(data)
+    except Exception as err:
+        raise ShardError(f"plan artifact could not be unpickled: {err}") from err
+    if not isinstance(payload, dict) or payload.get("format") != PLAN_ARTIFACT_FORMAT:
+        raise ShardError(
+            f"unsupported plan artifact format "
+            f"{payload.get('format') if isinstance(payload, dict) else payload!r} "
+            f"(this runtime reads format {PLAN_ARTIFACT_FORMAT})"
+        )
+    compiled = compile_cached(
+        payload["module"], payload["modules"], payload["options"]
+    )
+    expected = payload["fingerprint"]
+    if compiled.fingerprint != expected:
+        raise ShardError(
+            f"plan artifact fingerprint mismatch: artifact recorded "
+            f"{expected!r}, hydration produced {compiled.fingerprint!r} — "
+            "the module did not survive the process boundary structurally "
+            "intact"
+        )
+    return compiled

@@ -19,13 +19,14 @@ from repro.host.resilience import (
     with_retry,
     with_timeout,
 )
-from repro.host.chaos import ChaosLoop, LoadGenerator, MachineCrasher
+from repro.host.chaos import ChaosLoop, LoadGenerator, MachineCrasher, WorkerCrasher
 
 __all__ = [
     "SimulatedLoop",
     "AsyncioLoop",
     "ChaosLoop",
     "MachineCrasher",
+    "WorkerCrasher",
     "LoadGenerator",
     "AuthService",
     "FlakyService",

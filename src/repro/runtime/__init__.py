@@ -2,9 +2,16 @@
 
 from repro.runtime.fleet import FleetIngress, MachineFleet
 from repro.runtime.ingress import LatencyEwma, Mailbox, TokenBucket, merge_inputs
-from repro.runtime.journal import FileJournal, JournalEntry, MemoryJournal
+from repro.runtime.journal import (
+    FileJournal,
+    JournalEntry,
+    MemoryJournal,
+    TornJournalWarning,
+)
 from repro.runtime.machine import ReactiveMachine, ReactionResult, SNAPSHOT_FORMAT
 from repro.runtime.recovery import FleetSupervisor, MachineSupervisor
+from repro.runtime.shard import ShardManager
+from repro.runtime.worker import ShardWorker, WorkerConfig
 
 __all__ = [
     "MachineFleet",
@@ -18,7 +25,11 @@ __all__ = [
     "JournalEntry",
     "MemoryJournal",
     "FileJournal",
+    "TornJournalWarning",
     "MachineSupervisor",
     "FleetSupervisor",
+    "ShardManager",
+    "ShardWorker",
+    "WorkerConfig",
     "SNAPSHOT_FORMAT",
 ]

@@ -75,11 +75,17 @@ class MachineFleet:
 
     # -- membership -----------------------------------------------------
 
+    def build_machine(self, **overrides: Any) -> ReactiveMachine:
+        """Construct a machine from the fleet's shared plan *without*
+        adding it to the fleet — e.g. to pre-warm spares whose circuit
+        allocation should happen off a latency-critical path."""
+        kwargs = {**self._machine_kwargs, **overrides}
+        return ReactiveMachine(self.compiled, backend=self.backend, **kwargs)
+
     def spawn(self, **overrides: Any) -> ReactiveMachine:
         """Add one member (keyword overrides win over the fleet
         defaults) and return it."""
-        kwargs = {**self._machine_kwargs, **overrides}
-        machine = ReactiveMachine(self.compiled, backend=self.backend, **kwargs)
+        machine = self.build_machine(**overrides)
         self._machines.append(machine)
         return machine
 
@@ -292,6 +298,11 @@ class FleetIngress:
         self.supervisor = supervisor
         self.budget = budget
         self.coalesce_on_pump = coalesce_on_pump
+        self._capacity = capacity
+        self._policy = policy
+        #: member indices removed from routing (shard migration sources);
+        #: their mailbox slots stay so historic indices remain stable
+        self.retired: set = set()
         self.mailboxes: List[Mailbox] = [
             Mailbox.for_machine(machine, capacity=capacity, policy=policy)
             for machine in fleet
@@ -329,8 +340,10 @@ class FleetIngress:
     # -- health-aware membership ----------------------------------------
 
     def is_healthy(self, index: int) -> bool:
-        """A member is routable unless its supervisor quarantined it or
-        one of its registered circuit breakers is open."""
+        """A member is routable unless it was retired, its supervisor
+        quarantined it, or one of its circuit breakers is open."""
+        if index in self.retired:
+            return False
         if self.supervisor is not None and self.supervisor.members[index].quarantined:
             return False
         breakers = self.fleet[index].health["breakers"]
@@ -338,6 +351,41 @@ class FleetIngress:
 
     def healthy_members(self) -> List[int]:
         return [i for i in range(len(self.fleet)) if self.is_healthy(i)]
+
+    # -- dynamic membership (shard adoption / migration) -----------------
+
+    def add_member(self, machine: Optional[Any] = None, **overrides: Any) -> int:
+        """Grow the guarded fleet by one member — either adopt an
+        existing ``machine`` (a migrated member arriving on this shard,
+        already restored; it is appended to the fleet) or spawn a fresh
+        one from the fleet's shared plan.  The new member gets its own
+        mailbox (same capacity/policy as the rest) and its index is
+        returned.
+
+        When a ``supervisor`` was given at construction, the caller must
+        keep its ``members`` roster aligned (append a supervisor for the
+        new machine) before routing to the new index.
+        """
+        if machine is None:
+            machine = self.fleet.spawn(**overrides)
+        else:
+            self.fleet._machines.append(machine)
+        mailbox = Mailbox.for_machine(
+            machine, capacity=self._capacity, policy=self._policy
+        )
+        machine.attach_mailbox(mailbox)
+        self.mailboxes.append(mailbox)
+        self.max_batch = max(self.max_batch, len(self.mailboxes))
+        return len(self.mailboxes) - 1
+
+    def retire(self, index: int) -> List[Dict[str, Any]]:
+        """Remove member ``index`` from routing (a migration source
+        leaving this shard): drain and return its mailbox backlog —
+        oldest first, to be shipped with the member — and mark the slot
+        retired so no new input is admitted to it.  Idempotent."""
+        backlog = self.mailboxes[index].drain()
+        self.retired.add(index)
+        return backlog
 
     # -- admission -------------------------------------------------------
 
@@ -491,6 +539,7 @@ class FleetIngress:
             "latency_ewma_ms": self.latency.value,
             "healthy": len(self.healthy_members()),
             "members": len(self.mailboxes),
+            "retired": len(self.retired),
         }
 
     def __repr__(self) -> str:

@@ -28,9 +28,15 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import MachineError
+
+
+class TornJournalWarning(UserWarning):
+    """Opening a :class:`FileJournal` recovered from a torn trailing
+    record (the writing process was killed mid-append)."""
 
 
 class JournalEntry:
@@ -168,6 +174,15 @@ class FileJournal(MemoryJournal):
     at a heavy per-instant cost; the default ``False`` flushes to the OS
     only, which survives *process* death — the failure mode the
     supervisor stack actually recovers from (see docs/resilience.md).
+
+    A process killed mid-append (SIGKILL, OOM) leaves a torn final line.
+    Opening such a file *recovers*: the truncated trailing record is cut
+    off (with a :class:`TornJournalWarning` and a ``torn_tail`` note),
+    exactly as if the interrupted append had never happened — which is
+    the write-ahead contract: an entry that was never fully written
+    belongs to an instant that never ran.  Corruption anywhere *before*
+    the final line is not a torn tail and still raises
+    :class:`~repro.errors.MachineError`.
     """
 
     def __init__(self, path: Any, fsync: bool = False):
@@ -175,19 +190,57 @@ class FileJournal(MemoryJournal):
         self.path = path
         self.fsync = fsync
         self._fh = None
+        #: set when opening recovered a torn trailing record:
+        #: ``{"offset": byte offset truncated at, "line": the torn text}``
+        self.torn_tail: Optional[Dict[str, Any]] = None
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    record = json.loads(line)
-                    if "commit" in record and "seq" not in record:
-                        MemoryJournal.commit(self, int(record["commit"]))
-                    else:
-                        super().append(JournalEntry.from_json(record))
+                raw = fh.read()
         except FileNotFoundError:
-            pass
+            raw = None
+        if raw:
+            offset = 0
+            last_start, last_line = None, None
+            for line in raw.splitlines(keepends=True):
+                stripped = line.strip()
+                if stripped:
+                    try:
+                        record = json.loads(stripped)
+                        if "commit" in record and "seq" not in record:
+                            MemoryJournal.commit(self, int(record["commit"]))
+                        else:
+                            super().append(JournalEntry.from_json(record))
+                    except Exception as err:
+                        last_start, last_line = offset, line
+                        if offset + len(line) < len(raw):
+                            raise MachineError(
+                                f"journal {path} is corrupt at byte {offset} "
+                                f"(not a torn tail — later records follow): "
+                                f"{err}"
+                            ) from err
+                offset += len(line)
+            if last_line is not None:
+                # Torn tail: the final record was only partially written
+                # (the writer died mid-append).  Truncate it away — its
+                # instant never ran — and leave the recovery on record.
+                self.torn_tail = {
+                    "offset": last_start,
+                    "line": last_line[:200],
+                }
+                with open(path, "r+", encoding="utf-8") as fh:
+                    fh.truncate(last_start)
+                warnings.warn(
+                    f"journal {path}: truncated a torn trailing record at "
+                    f"byte {last_start} (crash mid-append); "
+                    f"{len(self._entries)} intact entries recovered",
+                    TornJournalWarning,
+                    stacklevel=2,
+                )
+            elif not raw.endswith("\n"):
+                # The final record parsed but lost its newline to a torn
+                # write; restore it so the next append starts a fresh line.
+                with open(path, "a", encoding="utf-8") as fh:
+                    fh.write("\n")
         self._fh = open(path, "a", encoding="utf-8")
 
     def _sync(self) -> None:

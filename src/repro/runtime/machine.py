@@ -27,6 +27,8 @@ deferred and run immediately after it, preserving atomicity.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
 
 from repro.errors import (
@@ -836,6 +838,16 @@ class ReactiveMachine:
             "terminated": self.terminated,
             "reaction_count": self.reaction_count,
         }
+
+    def state_digest(self) -> str:
+        """A sha256 over the canonical JSON rendering of
+        :meth:`snapshot` — a compact, process-portable equality check for
+        between-instant state.  Two machines of the same compiled module
+        have equal digests iff their observable state is identical, which
+        is how the shard layer asserts a migrated or crash-recovered
+        machine landed exactly where the original was."""
+        payload = json.dumps(self.snapshot(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def restore(self, snap: Mapping) -> None:
         """Overwrite this machine's between-instant state with a

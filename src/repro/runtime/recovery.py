@@ -45,6 +45,13 @@ class MachineSupervisor:
     :param quarantine_after: consecutive *identical* failures (same
         exception type and message — the poison-input signature) before
         the machine is quarantined.
+    :param on_checkpoint: called with each new checkpoint snapshot
+        *before* the journal prefix it covers is truncated.  Persisting
+        the snapshot here (rather than after :meth:`checkpoint` returns)
+        is the crash-safe ordering: if the process dies between the two
+        steps, the durable state is a *newer* snapshot plus a journal
+        that still reaches it — never an old snapshot whose journal tail
+        has already been dropped.
     """
 
     def __init__(
@@ -54,6 +61,7 @@ class MachineSupervisor:
         checkpoint_every: Optional[int] = None,
         max_retries: int = 1,
         quarantine_after: int = 3,
+        on_checkpoint: Optional[Callable[[Dict[str, Any]], None]] = None,
     ):
         self.machine = machine
         self.journal = journal if journal is not None else MemoryJournal()
@@ -61,6 +69,7 @@ class MachineSupervisor:
         self.checkpoint_every = checkpoint_every
         self.max_retries = max_retries
         self.quarantine_after = quarantine_after
+        self.on_checkpoint = on_checkpoint
         self.quarantined = False
         self.last_error: Optional[BaseException] = None
         self.consecutive_failures = 0
@@ -80,8 +89,14 @@ class MachineSupervisor:
 
     def checkpoint(self) -> Dict[str, Any]:
         """Snapshot the machine now and truncate the journal prefix the
-        snapshot covers.  Returns (and keeps) the snapshot."""
+        snapshot covers.  Returns (and keeps) the snapshot.
+
+        ``on_checkpoint`` runs between the snapshot and the truncation:
+        the snapshot must be durable *before* the journal entries it
+        replaces are dropped."""
         snap = self.machine.snapshot()
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(snap)
         self.journal.truncate(snap["reaction_count"])
         self._checkpoint = snap
         self.stats["checkpoints"] += 1

@@ -1,0 +1,691 @@
+"""Crash-tolerant multi-process sharded fleets with live migration.
+
+:class:`ShardManager` spreads the members of a logical
+:class:`~repro.runtime.fleet.MachineFleet` across OS worker processes
+(:mod:`repro.runtime.worker`).  Placement is a pure runtime concern: the
+reactive program never observes which process hosts it, exactly as the
+Hop/HipHop multitier work treats code location — and like hydrapy's
+multiplicity-N box networks, determinism is preserved per member because
+each member's instants stay totally ordered no matter where it runs.
+
+Architecture::
+
+    ShardManager ──pipe──▶ worker 0   (fleet shard + ingress + journals)
+        │        ──pipe──▶ worker 1
+        │           ...
+        └─ placement {member gid → worker}, heartbeats, failover, migration
+
+* **Cold start** — each worker hydrates the shared compiled plan once,
+  through :func:`~repro.compiler.compile.plan_artifact` /
+  :func:`~repro.compiler.compile.hydrate_plan_artifact` when the module
+  is portable (no embedded host callables), falling back to fork-time
+  heap inheritance otherwise.  Fingerprints are cross-checked so every
+  process provably runs the same program.
+* **Durability** — workers keep a per-member
+  :class:`~repro.runtime.journal.FileJournal` and snapshot file with
+  write-ahead checkpoint ordering; the manager recovers a SIGKILLed
+  worker's members purely from those files: restore last checkpoint,
+  silently replay the committed journal tail, redo the uncommitted tail
+  *live* on a survivor — host effects exactly once, traces identical.
+* **Live migration** — :meth:`migrate` drains the member's mailbox on
+  the source, snapshots between instants, ships snapshot + uncommitted
+  tail + mailbox backlog, and resumes on the destination with zero
+  dropped instants; :meth:`rebalance`, :meth:`drain_worker` and
+  :meth:`restart_worker` compose it into fleet-level operations.
+
+Failure model: a worker death is detected by pipe EOF, a missed request
+deadline, or a failed :meth:`heartbeat`; detection triggers
+:meth:`_failover` *before* the caller sees :class:`~repro.errors.WorkerDied`,
+so the exception reports a failure that has already been repaired.  The
+only state that dies with a worker is its in-memory mailbox backlog
+(counted in :attr:`stats`), never a committed instant.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import tempfile
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import errors as _errors
+from repro.errors import ShardError, WorkerDied
+from repro.compiler.compile import CompileOptions, plan_artifact
+from repro.lang import ast as A
+from repro.runtime.journal import FileJournal
+from repro.runtime.worker import Channel, WorkerConfig, worker_main
+
+
+class _Worker:
+    """Manager-side handle on one worker process."""
+
+    __slots__ = ("id", "proc", "chan", "directory", "pid", "members", "live")
+
+    def __init__(self, wid: int, proc: Any, chan: Channel, directory: str):
+        self.id = wid
+        self.proc = proc
+        self.chan = chan
+        self.directory = directory
+        self.pid: Optional[int] = None
+        self.members: set = set()
+        self.live = True
+
+    def __repr__(self) -> str:
+        state = "live" if self.live else "dead"
+        return f"_Worker({self.id}, pid={self.pid}, {len(self.members)} members, {state})"
+
+
+class ShardManager:
+    """A fleet of reactive machines sharded over worker processes.
+
+    :param module: the HipHop module (or AST) every member instantiates.
+    :param shards: how many worker processes to start.
+    :param size: members to spawn immediately (round-robin placement).
+    :param journal_dir: root directory for per-worker durable state
+        (journals, snapshots, effect logs); a temp dir when ``None``.
+    :param effect_signals: output signals whose listener deliveries are
+        appended to each worker's ``effects.log`` — the exactly-once
+        ledger the chaos tests audit.
+    :param request_timeout_s: per-request deadline; a worker missing it
+        is declared dead and failed over.
+
+    Single-request APIs (:meth:`react_member`, :meth:`offer`, ...) raise
+    :class:`~repro.errors.WorkerDied` *after* recovery when the target
+    worker dies mid-request.  The batch API :meth:`react_all` instead
+    completes the instant for every member — recovered members are
+    re-driven live so no member misses the broadcast — and records the
+    death in :attr:`stats` and :attr:`last_deaths`.
+    """
+
+    def __init__(
+        self,
+        module: Any,
+        modules: Optional[A.ModuleTable] = None,
+        options: Optional[CompileOptions] = None,
+        *,
+        shards: int = 4,
+        size: int = 0,
+        journal_dir: Optional[str] = None,
+        backend: str = "auto",
+        checkpoint_every: Optional[int] = 25,
+        capacity: int = 64,
+        policy: str = "coalesce",
+        effect_signals: Sequence[str] = (),
+        machine_kwargs: Optional[Dict[str, Any]] = None,
+        request_timeout_s: float = 30.0,
+        max_retries: int = 1,
+        quarantine_after: int = 3,
+    ):
+        if shards < 1:
+            raise ShardError("a sharded fleet needs at least one worker")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ShardError(
+                "sharded fleets need the 'fork' start method (POSIX only)"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        self._module = module
+        self._modules = modules
+        self._options = options
+        try:
+            self._artifact: Optional[bytes] = plan_artifact(module, modules, options)
+        except ShardError:
+            # Non-portable module (embedded callables): rely on fork-time
+            # heap inheritance instead of a pickled artifact.
+            self._artifact = None
+        self._backend = backend
+        self._checkpoint_every = checkpoint_every
+        self._capacity = capacity
+        self._policy = policy
+        self._effect_signals = tuple(effect_signals)
+        self._machine_kwargs = dict(machine_kwargs or {})
+        self._max_retries = max_retries
+        self._quarantine_after = quarantine_after
+        self.request_timeout_s = request_timeout_s
+        if journal_dir is None:
+            journal_dir = tempfile.mkdtemp(prefix="hiphop-shard-")
+        self.journal_dir = journal_dir
+        os.makedirs(journal_dir, exist_ok=True)
+
+        self.workers: List[_Worker] = []
+        self._worker_seq = 0
+        #: member gid → live worker
+        self.placement: Dict[int, _Worker] = {}
+        self._next_gid = 0
+        #: member gid → last known reaction_count (from worker responses)
+        self._reactions: Dict[int, int] = {}
+        self.fingerprint: Optional[str] = None
+        self.last_deaths: List[WorkerDied] = []
+        self.stats: Dict[str, int] = {
+            "workers_started": 0,
+            "failovers": 0,
+            "members_recovered": 0,
+            "redriven_instants": 0,
+            "migrations": 0,
+            "restarts": 0,
+            "lost_backlog_mailboxes": 0,
+        }
+        for _ in range(shards):
+            self.add_worker()
+        if size:
+            self.spawn_members(size)
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def add_worker(self) -> int:
+        """Start one more worker process (empty shard); returns its id."""
+        wid = self._worker_seq
+        self._worker_seq += 1
+        directory = os.path.join(self.journal_dir, f"worker-{wid}")
+        config = WorkerConfig(
+            directory=directory,
+            artifact=self._artifact,
+            module=None if self._artifact is not None else self._module,
+            modules=None if self._artifact is not None else self._modules,
+            options=None if self._artifact is not None else self._options,
+            backend=self._backend,
+            checkpoint_every=self._checkpoint_every,
+            capacity=self._capacity,
+            policy=self._policy,
+            machine_kwargs=self._machine_kwargs,
+            effect_signals=self._effect_signals,
+            max_retries=self._max_retries,
+            quarantine_after=self._quarantine_after,
+        )
+        cmd_r, cmd_w = os.pipe()
+        resp_r, resp_w = os.pipe()
+        # The child must close every *manager-side* fd it inherits — its
+        # own and those of previously started workers — or a SIGKILLed
+        # sibling's pipes would never reach EOF.
+        close_in_child = [cmd_w, resp_r]
+        for worker in self.workers:
+            if worker.live:
+                close_in_child.extend(
+                    (worker.chan.send_fd, worker.chan.recv_fd)
+                )
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(config, cmd_r, resp_w, tuple(close_in_child)),
+            daemon=True,
+        )
+        proc.start()
+        os.close(cmd_r)
+        os.close(resp_w)
+        worker = _Worker(wid, proc, Channel(resp_r, cmd_w), directory)
+        try:
+            hello = worker.chan.recv(self.request_timeout_s)
+        except (EOFError, TimeoutError) as err:
+            raise ShardError(f"worker {wid} failed to start: {err!r}") from err
+        if not hello.get("ok"):
+            raise ShardError(
+                f"worker {wid} failed to build its shard: "
+                f"{hello.get('kind')}: {hello.get('error')}"
+            )
+        worker.pid = hello["value"]["pid"]
+        fingerprint = hello["value"]["fingerprint"]
+        if self.fingerprint is None:
+            self.fingerprint = fingerprint
+        elif fingerprint != self.fingerprint:
+            raise ShardError(
+                f"worker {wid} compiled fingerprint {fingerprint!r} != "
+                f"fleet fingerprint {self.fingerprint!r}; shards disagree "
+                "about the program"
+            )
+        self.workers.append(worker)
+        self.stats["workers_started"] += 1
+        return wid
+
+    def _worker_by_id(self, wid: int) -> _Worker:
+        for worker in self.workers:
+            if worker.id == wid:
+                return worker
+        raise ShardError(f"no worker with id {wid}")
+
+    def live_workers(self) -> List[_Worker]:
+        return [w for w in self.workers if w.live]
+
+    def worker_pids(self) -> Dict[int, int]:
+        return {w.id: w.pid for w in self.live_workers()}
+
+    # -- the request path ------------------------------------------------
+
+    def _raise_remote(self, resp: Dict[str, Any]) -> None:
+        kind, message = resp.get("kind"), resp.get("error", "")
+        cls = getattr(_errors, str(kind), None)
+        if isinstance(cls, type) and issubclass(cls, Exception):
+            try:
+                raise cls(message)
+            except TypeError:
+                pass
+        raise ShardError(f"worker error {kind}: {message}")
+
+    def _request(
+        self, worker: _Worker, cmd: Dict[str, Any],
+        timeout: Optional[float] = None,
+    ) -> Any:
+        if not worker.live:
+            raise ShardError(f"worker {worker.id} is dead")
+        try:
+            worker.chan.send(cmd)
+            resp = worker.chan.recv(
+                self.request_timeout_s if timeout is None else timeout
+            )
+        except (BrokenPipeError, EOFError, TimeoutError, OSError) as err:
+            raise self._failover(worker, repr(err)) from err
+        if resp.get("ok"):
+            return resp["value"]
+        self._raise_remote(resp)
+
+    # -- membership ------------------------------------------------------
+
+    def spawn_members(self, count: int) -> List[int]:
+        """Spawn ``count`` members, placed round-robin across live
+        workers (one batched spawn command per worker); returns the new
+        global member ids."""
+        live = self.live_workers()
+        if not live:
+            raise ShardError("no live workers to place members on")
+        batches: Dict[int, List[int]] = {w.id: [] for w in live}
+        gids = []
+        for i in range(count):
+            gid = self._next_gid
+            self._next_gid += 1
+            gids.append(gid)
+            batches[live[i % len(live)].id].append(gid)
+        for worker in live:
+            batch = batches[worker.id]
+            if not batch:
+                continue
+            counts = self._request(worker, {"op": "spawn", "gids": batch})
+            worker.members.update(batch)
+            for gid in batch:
+                self.placement[gid] = worker
+                self._reactions[gid] = counts[gid]
+        return gids
+
+    def members(self) -> List[int]:
+        return sorted(self.placement)
+
+    def __len__(self) -> int:
+        return len(self.placement)
+
+    def _home_of(self, gid: int) -> _Worker:
+        try:
+            return self.placement[gid]
+        except KeyError:
+            raise ShardError(f"no member with gid {gid}") from None
+
+    # -- driving ---------------------------------------------------------
+
+    def react_member(self, gid: int, inputs: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One instant on member ``gid``; returns
+        ``{"emitted", "terminated", "paused", "reaction_count"}``."""
+        worker = self._home_of(gid)
+        pre = self._reactions.get(gid, 0)
+        try:
+            value = self._request(
+                worker, {"op": "react", "gid": gid, "inputs": dict(inputs or {})}
+            )
+        except WorkerDied:
+            # The member was recovered onto a survivor; finish the
+            # requested instant there unless the crash already redid it.
+            if self._reactions.get(gid, 0) <= pre:
+                return self.react_member(gid, inputs)
+            raise
+        self._reactions[gid] = value["reaction_count"]
+        return value
+
+    def react_all(self, inputs: Optional[Dict[str, Any]] = None) -> Dict[int, Dict[str, Any]]:
+        """One broadcast instant on every member.  Commands are written
+        to all workers before any response is read, so shards react in
+        parallel.  A worker dying mid-batch is failed over and its
+        members re-driven live, so the instant completes for the whole
+        fleet; the death lands in :attr:`last_deaths`, not an exception.
+        Per-member reaction failures come back in the result as
+        ``{"error": (kind, message)}`` entries."""
+        shared = dict(inputs or {})
+        self.last_deaths = []
+        pre = dict(self._reactions)
+        cmd = {"op": "react_all", "inputs": shared}
+        sent: List[_Worker] = []
+        # Failovers are DEFERRED until every in-flight response is
+        # drained: the adopt requests a failover issues to survivors must
+        # not interleave with broadcast responses those survivors still
+        # owe, or the request/response lockstep (and with it every later
+        # reply) would be off by one.
+        dead: List[Tuple[_Worker, str]] = []
+        bad_resp: Optional[Dict[str, Any]] = None
+        for worker in self.live_workers():
+            if not worker.members:
+                continue
+            try:
+                worker.chan.send(cmd)
+                sent.append(worker)
+            except (BrokenPipeError, OSError) as err:
+                dead.append((worker, repr(err)))
+        out: Dict[int, Dict[str, Any]] = {}
+        for worker in sent:
+            try:
+                resp = worker.chan.recv(self.request_timeout_s)
+            except (EOFError, TimeoutError, OSError) as err:
+                dead.append((worker, repr(err)))
+                continue
+            if not resp.get("ok"):
+                bad_resp = resp
+                continue
+            value = resp["value"]
+            for gid, payload in value["results"].items():
+                out[gid] = payload
+                self._reactions[gid] = payload["reaction_count"]
+            for gid, (kind, message) in value["failures"].items():
+                out[gid] = {"error": (kind, message)}
+        for worker, reason in dead:
+            self.last_deaths.append(self._failover(worker, reason))
+        if bad_resp is not None:
+            self._raise_remote(bad_resp)
+        # Members recovered from a mid-batch death: those whose redone
+        # tail did not already cover this instant get it re-driven live.
+        for died in self.last_deaths:
+            for gid in died.recovered:
+                if self._reactions.get(gid, 0) <= pre.get(gid, 0):
+                    try:
+                        out[gid] = self.react_member(gid, shared)
+                        self.stats["redriven_instants"] += 1
+                    except Exception as err:
+                        out[gid] = {"error": (type(err).__name__, str(err))}
+                else:
+                    out[gid] = {
+                        "emitted": None,
+                        "recovered": True,
+                        "reaction_count": self._reactions[gid],
+                    }
+        return out
+
+    def offer(self, gid: int, inputs: Dict[str, Any]) -> str:
+        """Offer one input map to member ``gid``'s mailbox on its shard;
+        returns the recorded admission decision."""
+        return self._request(
+            self._home_of(gid), {"op": "offer", "gid": gid, "inputs": dict(inputs)}
+        )
+
+    def route(self, inputs: Dict[str, Any]) -> Tuple[int, str]:
+        """Admit one map to the least-loaded member of the least-loaded
+        live shard; returns ``(gid, decision)``."""
+        live = [w for w in self.live_workers() if w.members]
+        if not live:
+            raise ShardError("no live worker hosts any member")
+        worker = min(live, key=lambda w: (len(w.members), w.id))
+        gid, decision = self._request(
+            worker, {"op": "route", "inputs": dict(inputs)}
+        )
+        return gid, decision
+
+    def pump_all(self) -> Dict[int, Dict[str, Any]]:
+        """Drain every shard's mailboxes (each worker pumps its own
+        ingress); returns the last result per member that reacted."""
+        out: Dict[int, Dict[str, Any]] = {}
+        for worker in list(self.live_workers()):
+            if not worker.members:
+                continue
+            value = self._request(worker, {"op": "pump_all"})
+            out.update(value["results"])
+        return out
+
+    # -- durability / introspection --------------------------------------
+
+    def checkpoint_all(self) -> Dict[int, int]:
+        """Force a durable checkpoint of every member on every shard;
+        returns each member's checkpointed reaction count."""
+        out: Dict[int, int] = {}
+        for worker in list(self.live_workers()):
+            if worker.members:
+                out.update(self._request(worker, {"op": "checkpoint"}))
+        return out
+
+    def member_digest(self, gid: int) -> str:
+        """The member's :meth:`~repro.runtime.machine.ReactiveMachine.state_digest`
+        — a process-portable hash of its between-instant state."""
+        return self._request(self._home_of(gid), {"op": "digest", "gid": gid})
+
+    def heartbeat(self, timeout: Optional[float] = None) -> Dict[int, Any]:
+        """Ping every live worker; a missed deadline or closed pipe
+        declares the worker dead and fails it over.  Returns per-worker
+        ping payloads (dead workers appear as their
+        :class:`~repro.errors.WorkerDied`)."""
+        out: Dict[int, Any] = {}
+        for worker in list(self.live_workers()):
+            try:
+                out[worker.id] = self._request(
+                    worker, {"op": "ping"},
+                    timeout=timeout if timeout is not None else self.request_timeout_s,
+                )
+            except WorkerDied as died:
+                out[worker.id] = died
+        return out
+
+    def shard_stats(self) -> Dict[int, Any]:
+        return {
+            w.id: self._request(w, {"op": "stats"})
+            for w in list(self.live_workers())
+        }
+
+    def arm_crash(
+        self,
+        worker_id: int,
+        mode: str,
+        after_appends: int = 1,
+        gid: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Arm a chaos self-SIGKILL on a worker (see
+        :meth:`repro.runtime.worker.ShardWorker.arm_crash`)."""
+        return self._request(
+            self._worker_by_id(worker_id),
+            {"op": "arm_crash", "mode": mode, "after_appends": after_appends,
+             "gid": gid},
+        )
+
+    # -- failover --------------------------------------------------------
+
+    def _failover(self, worker: _Worker, reason: str) -> WorkerDied:
+        """Declare ``worker`` dead and re-place every member it hosted
+        onto survivors from the worker's durable files: restore the last
+        checkpoint, replay the committed journal tail silently, redo the
+        uncommitted tail live.  Returns (never raises) the
+        :class:`~repro.errors.WorkerDied` describing what happened."""
+        worker.live = False
+        try:
+            if worker.pid:
+                os.kill(worker.pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            pass
+        worker.proc.join(timeout=5)
+        worker.chan.close()
+        self.stats["failovers"] += 1
+        orphans = sorted(worker.members)
+        worker.members = set()
+        survivors = self.live_workers()
+        recovered: List[int] = []
+        if not survivors and orphans:
+            died = WorkerDied(
+                f"worker {worker.id} died ({reason}) and no survivor can "
+                f"adopt its {len(orphans)} members",
+                worker_id=worker.id,
+            )
+            for gid in orphans:
+                self.placement.pop(gid, None)
+            return died
+        for gid in orphans:
+            target = min(survivors, key=lambda w: (len(w.members), w.id))
+            value = self._adopt_from_disk(worker, target, gid)
+            self.placement[gid] = target
+            target.members.add(gid)
+            self._reactions[gid] = value["reaction_count"]
+            recovered.append(gid)
+        self.stats["members_recovered"] += len(recovered)
+        if orphans:
+            # the dead worker's in-memory mailbox backlog is the one
+            # thing that cannot be recovered; account for it loudly
+            self.stats["lost_backlog_mailboxes"] += len(orphans)
+        return WorkerDied(
+            f"worker {worker.id} died ({reason}); {len(recovered)} members "
+            "recovered onto survivors",
+            worker_id=worker.id,
+            recovered=recovered,
+        )
+
+    def _adopt_from_disk(
+        self, dead: _Worker, target: _Worker, gid: int
+    ) -> Dict[str, Any]:
+        """Rebuild member ``gid`` on ``target`` from the dead worker's
+        snapshot + journal files (torn journal tails are truncated by
+        :class:`~repro.runtime.journal.FileJournal` itself)."""
+        snap_path = os.path.join(dead.directory, f"member-{gid}.snap")
+        journal_path = os.path.join(dead.directory, f"member-{gid}.journal")
+        try:
+            with open(snap_path, "r", encoding="utf-8") as fh:
+                snapshot = json.load(fh)
+        except FileNotFoundError:
+            # Died before its initial checkpoint was persisted: the
+            # member never reacted, a fresh spawn is the correct state.
+            counts = self._request(target, {"op": "spawn", "gids": [gid]})
+            return {"reaction_count": counts[gid]}
+        committed: List[Dict[str, Any]] = []
+        tail: List[Dict[str, Any]] = []
+        if os.path.exists(journal_path):
+            journal = FileJournal(journal_path)
+            try:
+                for entry in journal.entries(snapshot["reaction_count"]):
+                    (committed if entry.committed else tail).append(entry.to_json())
+            finally:
+                journal.close()
+        return self._request(
+            target,
+            {"op": "adopt", "gid": gid, "snapshot": snapshot,
+             "committed": committed, "tail": tail, "pending": []},
+        )
+
+    # -- live migration --------------------------------------------------
+
+    def migrate(self, gid: int, dst_worker_id: int) -> Dict[str, Any]:
+        """Move member ``gid`` to another worker with zero dropped
+        instants: the source stops admitting to it, drains its mailbox,
+        snapshots between instants, and ships snapshot + uncommitted
+        journal tail + backlog; the destination restores, redoes the tail
+        live, and re-enqueues the backlog.  Returns the destination's
+        adopt payload (including the post-migration state digest)."""
+        src = self._home_of(gid)
+        dst = self._worker_by_id(dst_worker_id)
+        if not dst.live:
+            raise ShardError(f"destination worker {dst_worker_id} is dead")
+        if dst is src:
+            return {"reaction_count": self._reactions.get(gid, 0), "noop": True}
+        shipped = self._request(src, {"op": "extract", "gid": gid})
+        src.members.discard(gid)
+        self.placement.pop(gid, None)
+        value = self._request(
+            dst,
+            {"op": "adopt", "gid": gid, "snapshot": shipped["snapshot"],
+             "committed": [], "tail": shipped["tail"],
+             "pending": shipped["pending"]},
+        )
+        self.placement[gid] = dst
+        dst.members.add(gid)
+        self._reactions[gid] = value["reaction_count"]
+        self.stats["migrations"] += 1
+        return value
+
+    def drain_worker(self, worker_id: int) -> List[int]:
+        """Migrate every member off a worker (to the least-loaded other
+        live workers); returns the moved gids.  The worker stays up,
+        empty — pair with :meth:`shutdown_worker` or use
+        :meth:`restart_worker` for the full rolling-restart move."""
+        source = self._worker_by_id(worker_id)
+        others = [w for w in self.live_workers() if w is not source]
+        if not others:
+            raise ShardError("cannot drain the only live worker")
+        moved = []
+        for gid in sorted(source.members):
+            target = min(others, key=lambda w: (len(w.members), w.id))
+            self.migrate(gid, target.id)
+            moved.append(gid)
+        return moved
+
+    def shutdown_worker(self, worker_id: int) -> None:
+        """Cleanly stop an (ideally already drained) worker."""
+        worker = self._worker_by_id(worker_id)
+        if not worker.live:
+            return
+        if worker.members:
+            raise ShardError(
+                f"worker {worker_id} still hosts {len(worker.members)} "
+                "members; drain_worker() first"
+            )
+        try:
+            self._request(worker, {"op": "shutdown"})
+        except WorkerDied:
+            pass
+        worker.live = False
+        worker.proc.join(timeout=5)
+        worker.chan.close()
+
+    def restart_worker(self, worker_id: int) -> int:
+        """Rolling restart of one worker with zero dropped instants:
+        start a replacement, live-migrate every member onto it, and shut
+        the old process down.  Returns the replacement's worker id."""
+        old = self._worker_by_id(worker_id)
+        replacement_id = self.add_worker()
+        for gid in sorted(old.members):
+            self.migrate(gid, replacement_id)
+        self.shutdown_worker(worker_id)
+        self.stats["restarts"] += 1
+        return replacement_id
+
+    def rebalance(self) -> List[int]:
+        """Even out member counts across live workers via live
+        migrations; returns the moved gids."""
+        moved: List[int] = []
+        while True:
+            live = self.live_workers()
+            if len(live) < 2:
+                return moved
+            fullest = max(live, key=lambda w: (len(w.members), -w.id))
+            emptiest = min(live, key=lambda w: (len(w.members), w.id))
+            if len(fullest.members) - len(emptiest.members) <= 1:
+                return moved
+            gid = sorted(fullest.members)[0]
+            self.migrate(gid, emptiest.id)
+            moved.append(gid)
+
+    # -- shutdown --------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop every worker (clean shutdown command, then join)."""
+        for worker in self.workers:
+            if not worker.live:
+                continue
+            try:
+                worker.chan.send({"op": "shutdown"})
+                worker.chan.recv(5)
+            except (BrokenPipeError, EOFError, TimeoutError, OSError):
+                try:
+                    if worker.pid:
+                        os.kill(worker.pid, signal.SIGKILL)
+                except (OSError, ProcessLookupError):
+                    pass
+            worker.live = False
+            worker.proc.join(timeout=5)
+            worker.chan.close()
+
+    def __enter__(self) -> "ShardManager":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        live = self.live_workers()
+        return (
+            f"ShardManager({len(self.placement)} members over {len(live)} "
+            f"live workers, fingerprint={str(self.fingerprint)[:12]}...)"
+        )

@@ -1,0 +1,623 @@
+"""Shard worker: the child-process side of the multi-process fleet.
+
+A worker owns one *shard* of a sharded fleet (see
+:mod:`repro.runtime.shard`): it hydrates the shared compiled plan once
+(through the structural compile cache, so every member it hosts shares
+one circuit and evaluation plan), then serves a command loop over a
+length-prefixed pipe protocol — spawn/adopt/extract members, drive
+instants, offer and pump mailbox traffic, checkpoint, report digests.
+
+Durability is local to the worker: each member gets its own
+:class:`~repro.runtime.journal.FileJournal` and snapshot file inside the
+worker's directory, maintained by a
+:class:`~repro.runtime.recovery.MachineSupervisor` with the write-ahead
+checkpoint ordering (snapshot persisted *before* the journal prefix it
+covers is truncated).  When the worker is killed, the manager recovers
+its members from exactly those files — nothing the worker held only in
+memory is needed.
+
+Host effects (listener deliveries on the configured ``effect_signals``)
+are appended to the worker's ``effects.log`` as JSON lines *as they
+fire*, which is what lets the chaos tests prove exactly-once delivery
+across crashes: replayed instants suppress listeners, so an effect line
+appears exactly when its instant ran live.
+
+The wire protocol is synchronous request/response: every command dict
+gets exactly one reply, ``{"ok": True, "value": ...}`` or
+``{"ok": False, "kind": <exception type>, "error": <message>}``.  The
+worker never aborts its loop on a command error, and exits via
+``os._exit`` so a forked child can never run the parent's teardown
+(pytest finalizers, atexit hooks) by accident.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import select
+import signal
+import struct
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ShardError
+from repro.compiler.compile import compile_cached, hydrate_plan_artifact
+from repro.runtime.fleet import FleetIngress, MachineFleet
+from repro.runtime.journal import FileJournal, JournalEntry
+from repro.runtime.recovery import MachineSupervisor
+
+_HEADER = struct.Struct(">I")
+
+#: refuse frames above this size (a corrupt length prefix would otherwise
+#: make the reader try to allocate gigabytes)
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def _write_all(fd: int, data: bytes) -> None:
+    view = memoryview(data)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+class Channel:
+    """One direction-pair of the pipe protocol: length-prefixed pickled
+    frames over two raw pipe fds (one to read, one to write).
+
+    ``recv`` raises :class:`EOFError` when the far end closed (the peer
+    process died) and :class:`TimeoutError` when ``timeout`` seconds pass
+    without a complete frame.
+    """
+
+    def __init__(self, recv_fd: int, send_fd: int):
+        self.recv_fd = recv_fd
+        self.send_fd = send_fd
+        self._buf = b""
+
+    def send(self, obj: Any) -> None:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        _write_all(self.send_fd, _HEADER.pack(len(payload)) + payload)
+
+    def _read_exact(self, n: int, timeout: Optional[float]) -> bytes:
+        while len(self._buf) < n:
+            if timeout is not None:
+                ready, _, _ = select.select([self.recv_fd], [], [], timeout)
+                if not ready:
+                    raise TimeoutError(
+                        f"no frame within {timeout}s on fd {self.recv_fd}"
+                    )
+            chunk = os.read(self.recv_fd, 1 << 16)
+            if not chunk:
+                raise EOFError(f"pipe fd {self.recv_fd} closed")
+            self._buf += chunk
+        out, self._buf = self._buf[:n], self._buf[n:]
+        return out
+
+    def recv(self, timeout: Optional[float] = None) -> Any:
+        (length,) = _HEADER.unpack(self._read_exact(_HEADER.size, timeout))
+        if length > MAX_FRAME_BYTES:
+            raise ShardError(
+                f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+                "protocol limit (corrupt length prefix?)"
+            )
+        return pickle.loads(self._read_exact(length, timeout))
+
+    def close(self) -> None:
+        for fd in (self.recv_fd, self.send_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+
+class WorkerConfig:
+    """Everything a worker needs to build its shard.
+
+    Exactly one of ``artifact`` (a :func:`~repro.compiler.compile.plan_artifact`
+    payload, portable across cold-started processes) or ``module`` (the
+    AST object itself, valid only under ``fork`` where the child inherits
+    the parent's heap) must be provided.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        artifact: Optional[bytes] = None,
+        module: Any = None,
+        modules: Any = None,
+        options: Any = None,
+        backend: str = "auto",
+        checkpoint_every: Optional[int] = 25,
+        capacity: int = 64,
+        policy: str = "coalesce",
+        machine_kwargs: Optional[Dict[str, Any]] = None,
+        effect_signals: Sequence[str] = (),
+        max_retries: int = 1,
+        quarantine_after: int = 3,
+    ):
+        self.directory = directory
+        self.artifact = artifact
+        self.module = module
+        self.modules = modules
+        self.options = options
+        self.backend = backend
+        self.checkpoint_every = checkpoint_every
+        self.capacity = capacity
+        self.policy = policy
+        self.machine_kwargs = dict(machine_kwargs or {})
+        self.effect_signals = tuple(effect_signals)
+        self.max_retries = max_retries
+        self.quarantine_after = quarantine_after
+
+
+class _Roster:
+    """A ``FleetSupervisor``-shaped shim: the per-fleet-index supervisor
+    list :class:`~repro.runtime.fleet.FleetIngress` consults for health."""
+
+    def __init__(self) -> None:
+        self.members: List[MachineSupervisor] = []
+
+
+class ShardWorker:
+    """The in-process shard state behind the command loop.  Also usable
+    directly (without a child process) by tests that want to poke one
+    shard's logic deterministically."""
+
+    def __init__(self, config: WorkerConfig):
+        self.config = config
+        os.makedirs(config.directory, exist_ok=True)
+        if config.artifact is not None:
+            self.compiled = hydrate_plan_artifact(config.artifact)
+        elif config.module is not None:
+            self.compiled = compile_cached(
+                config.module, config.modules, config.options
+            )
+        else:
+            raise ShardError("WorkerConfig needs an artifact or a module")
+        self.fingerprint = self.compiled.fingerprint
+        self.fleet = MachineFleet(
+            self.compiled, backend=config.backend, **self.config.machine_kwargs
+        )
+        self.roster = _Roster()
+        self.ingress = FleetIngress(
+            self.fleet,
+            capacity=config.capacity,
+            policy=config.policy,
+            supervisor=self.roster,
+        )
+        #: global member id → fleet index (live members only)
+        self.members: Dict[int, int] = {}
+        self.supervisors: Dict[int, MachineSupervisor] = {}
+        self._effects_fh = open(
+            os.path.join(config.directory, "effects.log"), "a", encoding="utf-8"
+        )
+        #: one pre-built machine kept warm between commands so adopting a
+        #: migrated member pays list-append, not circuit allocation
+        self._spare: Optional[Any] = None
+        self._crash_between = False
+        self._crash_mid: Optional[Dict[str, Any]] = None
+
+    # -- member lifecycle ------------------------------------------------
+
+    def _journal_path(self, gid: int) -> str:
+        return os.path.join(self.config.directory, f"member-{gid}.journal")
+
+    def _snap_path(self, gid: int) -> str:
+        return os.path.join(self.config.directory, f"member-{gid}.snap")
+
+    def _snap_writer(self, gid: int):
+        """An ``on_checkpoint`` hook persisting the snapshot atomically
+        (tmp file + ``os.replace``) *before* the journal is truncated."""
+        path = self._snap_path(gid)
+
+        def write(snap: Dict[str, Any]) -> None:
+            import json
+
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(snap))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+
+        return write
+
+    def _wire_effects(self, gid: int, machine: Any) -> None:
+        import json
+
+        for name in self.config.effect_signals:
+
+            def listener(value: Any, _gid: int = gid, _m: Any = machine, _name: str = name) -> None:
+                self._effects_fh.write(
+                    json.dumps(
+                        {
+                            "member": _gid,
+                            "seq": _m.reaction_count - 1,
+                            "signal": _name,
+                            "value": value,
+                        }
+                    )
+                    + "\n"
+                )
+                self._effects_fh.flush()
+
+            machine.add_listener(name, listener)
+
+    def replenish(self) -> None:
+        """Pre-warm the spare machine.  Called by the command loop after
+        each reply — i.e. off the critical path of whatever command (an
+        adopt, a spawn) just consumed the spare."""
+        if self._spare is None:
+            self._spare = self.fleet.build_machine()
+
+    def _take_spare(self) -> Optional[Any]:
+        machine, self._spare = self._spare, None
+        return machine
+
+    def _install(self, gid: int, defer_persist: bool = False) -> MachineSupervisor:
+        """Spawn a fresh member for ``gid`` with a fresh journal and a
+        persisted initial checkpoint; returns its supervisor.
+
+        ``defer_persist`` skips fsyncing the (blank) initial snapshot —
+        for the adopt path, which restores real state and persists its
+        own checkpoint immediately after.
+        """
+        if gid in self.members:
+            raise ShardError(f"member {gid} already lives on this shard")
+        index = self.ingress.add_member(machine=self._take_spare())
+        machine = self.fleet[index]
+        for path in (self._journal_path(gid), self._snap_path(gid)):
+            if os.path.exists(path):
+                os.remove(path)
+        supervisor = MachineSupervisor(
+            machine,
+            journal=FileJournal(self._journal_path(gid)),
+            checkpoint_every=self.config.checkpoint_every,
+            max_retries=self.config.max_retries,
+            quarantine_after=self.config.quarantine_after,
+            on_checkpoint=None if defer_persist else self._snap_writer(gid),
+        )
+        if defer_persist:
+            supervisor.on_checkpoint = self._snap_writer(gid)
+        self.roster.members.append(supervisor)
+        self._wire_effects(gid, machine)
+        self.members[gid] = index
+        self.supervisors[gid] = supervisor
+        return supervisor
+
+    def spawn(self, gids: Sequence[int]) -> Dict[int, int]:
+        out = {}
+        for gid in gids:
+            supervisor = self._install(gid)
+            out[gid] = supervisor.machine.reaction_count
+        return out
+
+    def adopt(
+        self,
+        gid: int,
+        snapshot: Dict[str, Any],
+        committed: Sequence[Dict[str, Any]],
+        tail: Sequence[Dict[str, Any]],
+        pending: Sequence[Dict[str, Any]] = (),
+    ) -> Dict[str, Any]:
+        """Receive a member from another shard (migration) or from a dead
+        worker's durable files (failover): restore its snapshot, silently
+        replay the committed journal tail, persist a fresh checkpoint,
+        then redo any *uncommitted* tail **live** so its host effects
+        happen (exactly once — they never happened before the crash), and
+        finally enqueue the shipped mailbox backlog."""
+        supervisor = self._install(gid, defer_persist=True)
+        machine = supervisor.machine
+        machine.attach_journal(None)
+        machine.restore(snapshot)
+        machine.replay([JournalEntry.from_json(e) for e in committed])
+        machine.attach_journal(supervisor.journal)
+        # re-checkpoint at the recovered boundary: the fresh journal is
+        # empty, so the snapshot alone must cover everything replayed
+        supervisor.checkpoint()
+        redone: Dict[int, Dict[str, Any]] = {}
+        for data in tail:
+            entry = JournalEntry.from_json(data)
+            for slot, value in entry.execs:
+                state = machine._execs[slot]
+                if state.running:
+                    state.pending = True
+                    state.pending_value = value
+            result = supervisor.react(dict(entry.inputs))
+            redone[entry.seq] = dict(result)
+        for inputs in pending:
+            self.ingress.offer(self.members[gid], inputs)
+        return {
+            "reaction_count": machine.reaction_count,
+            "redone": redone,
+            "digest": machine.state_digest(),
+        }
+
+    def extract(self, gid: int) -> Dict[str, Any]:
+        """Ship member ``gid`` out of this shard: stop admitting to it,
+        drain its mailbox backlog, snapshot between instants, and hand
+        everything (snapshot, uncommitted journal tail, backlog) to the
+        manager.  The member's durable files are removed — it no longer
+        lives here."""
+        index = self._index_of(gid)
+        pending = self.ingress.retire(index)
+        supervisor = self.supervisors[gid]
+        machine = supervisor.machine
+        snapshot = machine.snapshot()
+        tail = [
+            e.to_json()
+            for e in supervisor.journal.entries(snapshot["reaction_count"])
+            if not e.committed
+        ]
+        digest = machine.state_digest()
+        machine.attach_journal(None)
+        supervisor.journal.close()
+        for path in (self._journal_path(gid), self._snap_path(gid)):
+            if os.path.exists(path):
+                os.remove(path)
+        del self.members[gid]
+        del self.supervisors[gid]
+        return {
+            "snapshot": snapshot,
+            "tail": tail,
+            "pending": pending,
+            "reaction_count": snapshot["reaction_count"],
+            "digest": digest,
+        }
+
+    def _index_of(self, gid: int) -> int:
+        try:
+            return self.members[gid]
+        except KeyError:
+            raise ShardError(f"member {gid} does not live on this shard") from None
+
+    # -- driving ---------------------------------------------------------
+
+    @staticmethod
+    def _result_payload(supervisor: MachineSupervisor, result: Any) -> Dict[str, Any]:
+        return {
+            "emitted": dict(result),
+            "terminated": bool(result.terminated),
+            "paused": bool(result.paused),
+            "reaction_count": supervisor.machine.reaction_count,
+        }
+
+    def react(self, gid: int, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        supervisor = self.supervisors[self._require(gid)]
+        return self._result_payload(supervisor, supervisor.react(inputs))
+
+    def _require(self, gid: int) -> int:
+        self._index_of(gid)
+        return gid
+
+    def react_all(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        """One supervised instant on every live member; the batch always
+        completes — per-member failures are reported, not raised."""
+        results: Dict[int, Dict[str, Any]] = {}
+        failures: Dict[int, Tuple[str, str]] = {}
+        for gid in sorted(self.members):
+            supervisor = self.supervisors[gid]
+            if supervisor.quarantined:
+                failures[gid] = ("Quarantined", "member is quarantined")
+                continue
+            try:
+                results[gid] = self._result_payload(
+                    supervisor, supervisor.react(dict(inputs))
+                )
+            except Exception as err:
+                failures[gid] = (type(err).__name__, str(err))
+        return {"results": results, "failures": failures}
+
+    def offer(self, gid: int, inputs: Dict[str, Any]) -> str:
+        return self.ingress.offer(self._index_of(gid), inputs)
+
+    def offer_all(self, inputs: Dict[str, Any]) -> Dict[int, str]:
+        return {
+            gid: self.ingress.offer(index, inputs)
+            for gid, index in sorted(self.members.items())
+        }
+
+    def route(self, inputs: Dict[str, Any]) -> Tuple[int, str]:
+        index, decision = self.ingress.route(inputs)
+        for gid, idx in self.members.items():
+            if idx == index:
+                return gid, decision
+        raise ShardError(f"routed to unknown fleet index {index}")
+
+    def pump_all(self) -> Dict[str, Any]:
+        by_index = self.ingress.pump_all()
+        gid_of = {idx: gid for gid, idx in self.members.items()}
+        return {
+            "results": {
+                gid_of[i]: {"emitted": dict(r)} for i, r in by_index.items()
+                if i in gid_of
+            },
+            "failures": {
+                gid_of[i]: (type(e).__name__, str(e))
+                for i, e in self.ingress.last_failures.items()
+                if i in gid_of
+            },
+        }
+
+    # -- maintenance -----------------------------------------------------
+
+    def checkpoint(self, gid: Optional[int] = None) -> Dict[int, int]:
+        gids = [gid] if gid is not None else sorted(self.members)
+        out = {}
+        for g in gids:
+            snap = self.supervisors[self._require(g)].checkpoint()
+            out[g] = snap["reaction_count"]
+        return out
+
+    def digest(self, gid: int) -> str:
+        return self.supervisors[self._require(gid)].machine.state_digest()
+
+    def ping(self) -> Dict[str, Any]:
+        return {
+            "pid": os.getpid(),
+            "members": sorted(self.members),
+            "reactions": sum(
+                s.machine.reaction_count for s in self.supervisors.values()
+            ),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "pid": os.getpid(),
+            "members": sorted(self.members),
+            "ingress": self.ingress.stats(),
+            "supervisor": {
+                "reactions": sum(s.stats["reactions"] for s in self.supervisors.values()),
+                "checkpoints": sum(s.stats["checkpoints"] for s in self.supervisors.values()),
+                "rollbacks": sum(s.stats["rollbacks"] for s in self.supervisors.values()),
+            },
+        }
+
+    # -- chaos hooks -----------------------------------------------------
+
+    def arm_crash(
+        self,
+        mode: str,
+        after_appends: int = 1,
+        gid: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Arm a self-SIGKILL (used by
+        :class:`repro.host.chaos.WorkerCrasher`):
+
+        * ``"between"`` — die right before the next driving command is
+          processed, i.e. cleanly between instants;
+        * ``"mid"`` — die immediately after the ``after_appends``-th
+          write-ahead journal append (optionally counting only member
+          ``gid``), i.e. *mid-instant*: the instant's inputs are durably
+          journaled but it never committed and its effects never fired.
+        """
+        if mode == "between":
+            self._crash_between = True
+        elif mode == "mid":
+            self._crash_mid = {"remaining": int(after_appends), "gid": gid}
+            self._arm_mid_appends()
+        else:
+            raise ShardError(f"unknown crash mode {mode!r}")
+        return {"armed": mode, "pid": os.getpid()}
+
+    def _arm_mid_appends(self) -> None:
+        armed = self._crash_mid
+
+        def wrap(journal: Any) -> None:
+            original = journal.append
+
+            def append(entry: Any) -> None:
+                original(entry)
+                armed["remaining"] -= 1
+                if armed["remaining"] <= 0:
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+            journal.append = append
+
+        target = armed.get("gid")
+        for gid, supervisor in sorted(self.supervisors.items()):
+            if target is None or gid == target:
+                wrap(supervisor.journal)
+
+    # -- command loop ----------------------------------------------------
+
+    _DRIVING_OPS = frozenset(
+        {"react", "react_all", "offer", "offer_all", "route", "pump_all"}
+    )
+
+    def handle(self, cmd: Dict[str, Any]) -> Any:
+        op = cmd["op"]
+        if self._crash_between and op in self._DRIVING_OPS:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if op == "spawn":
+            return self.spawn(cmd["gids"])
+        if op == "adopt":
+            return self.adopt(
+                cmd["gid"], cmd["snapshot"], cmd["committed"], cmd["tail"],
+                cmd.get("pending", ()),
+            )
+        if op == "extract":
+            return self.extract(cmd["gid"])
+        if op == "react":
+            return self.react(cmd["gid"], cmd["inputs"])
+        if op == "react_all":
+            return self.react_all(cmd["inputs"])
+        if op == "offer":
+            return self.offer(cmd["gid"], cmd["inputs"])
+        if op == "offer_all":
+            return self.offer_all(cmd["inputs"])
+        if op == "route":
+            return self.route(cmd["inputs"])
+        if op == "pump_all":
+            return self.pump_all()
+        if op == "checkpoint":
+            return self.checkpoint(cmd.get("gid"))
+        if op == "digest":
+            return self.digest(cmd["gid"])
+        if op == "ping":
+            return self.ping()
+        if op == "stats":
+            return self.stats()
+        if op == "arm_crash":
+            return self.arm_crash(
+                cmd["mode"], cmd.get("after_appends", 1), cmd.get("gid")
+            )
+        raise ShardError(f"unknown shard op {op!r}")
+
+
+def worker_main(
+    config: WorkerConfig,
+    recv_fd: int,
+    send_fd: int,
+    close_fds: Sequence[int] = (),
+) -> None:
+    """Child-process entry point: close inherited fds belonging to other
+    workers (so a SIGKILLed sibling's pipes actually reach EOF), build
+    the shard, send the hello frame, and serve commands until shutdown or
+    manager EOF.  Exits only via ``os._exit`` — a forked child must never
+    unwind into the parent's interpreter teardown."""
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    chan = Channel(recv_fd, send_fd)
+    try:
+        try:
+            shard = ShardWorker(config)
+        except BaseException as err:
+            chan.send(
+                {"ok": False, "kind": type(err).__name__, "error": str(err)}
+            )
+            return
+        chan.send(
+            {
+                "ok": True,
+                "value": {"pid": os.getpid(), "fingerprint": shard.fingerprint},
+            }
+        )
+        while True:
+            try:
+                cmd = chan.recv()
+            except EOFError:
+                return
+            if cmd.get("op") == "shutdown":
+                chan.send({"ok": True, "value": {"pid": os.getpid()}})
+                return
+            try:
+                value = shard.handle(cmd)
+            except Exception as err:
+                chan.send(
+                    {"ok": False, "kind": type(err).__name__, "error": str(err)}
+                )
+            else:
+                chan.send({"ok": True, "value": value})
+            try:
+                # rebuild the spare while the manager digests the reply —
+                # the next adopt/spawn then skips circuit allocation
+                shard.replenish()
+            except Exception:
+                pass
+    except (BrokenPipeError, EOFError):
+        return
+    finally:
+        os._exit(0)

@@ -859,3 +859,100 @@ def test_skini_audience_crash_recovery(seed):
                 member.machine.__dict__.pop(key, None)
 
     assert [s.machine.snapshot() for s in sup.members] == reference_state
+
+
+# ---------------------------------------------------------------------------
+# FileJournal torn-tail recovery
+# ---------------------------------------------------------------------------
+
+
+class TestTornTailRecovery:
+    """A process killed mid-append leaves a partially-written final line;
+    reopening must recover (truncate the torn record) rather than abort,
+    because a record that was never fully written belongs to an instant
+    that never ran."""
+
+    def _write_journal(self, path, count=4):
+        journal = FileJournal(str(path))
+        for seq in range(count):
+            journal.append(JournalEntry(seq, {"tick": seq}, committed=False))
+            journal.commit(seq)
+        journal.close()
+        return path
+
+    def test_chopped_mid_record_truncates_and_warns(self, tmp_path):
+        from repro.runtime.journal import TornJournalWarning
+
+        path = self._write_journal(tmp_path / "torn.journal")
+        raw = path.read_bytes()
+        # chop inside the final record, leaving no trailing newline
+        chopped = raw[: len(raw) - 7]
+        assert not chopped.endswith(b"\n")
+        path.write_bytes(chopped)
+
+        with pytest.warns(TornJournalWarning):
+            journal = FileJournal(str(path))
+        assert journal.torn_tail is not None
+        # the torn commit record is gone; entry 3 survives uncommitted,
+        # entries 0..2 survive committed
+        entries = journal.entries()
+        assert [e.seq for e in entries] == [0, 1, 2, 3]
+        assert [e.committed for e in entries] == [True, True, True, False]
+        # the file itself was repaired: appending works and reopening is clean
+        journal.append(JournalEntry(4, {"tick": 4}))
+        journal.close()
+        reopened = FileJournal(str(path))
+        assert reopened.torn_tail is None
+        assert [e.seq for e in reopened.entries()] == [0, 1, 2, 3, 4]
+        reopened.close()
+
+    def test_torn_newline_only_is_repaired_silently(self, tmp_path):
+        import warnings as _warnings
+
+        path = self._write_journal(tmp_path / "nl.journal")
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-1])  # the record is intact, only \n lost
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            journal = FileJournal(str(path))
+        assert journal.torn_tail is None
+        assert [e.committed for e in journal.entries()] == [True] * 4
+        journal.append(JournalEntry(4, {}))
+        journal.close()
+        reopened = FileJournal(str(path))
+        assert [e.seq for e in reopened.entries()] == [0, 1, 2, 3, 4]
+        reopened.close()
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = self._write_journal(tmp_path / "corrupt.journal")
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[2] = b'{"seq": 1, "inputs": {BROKEN\n'
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(MachineError, match="not a torn tail"):
+            FileJournal(str(path))
+
+    def test_supervised_recovery_after_torn_tail(self, tmp_path):
+        """End-to-end: kill a journaled machine 'mid-append' by chopping
+        the file, then recover — the torn instant is simply gone, the
+        machine lands exactly at the last intact instant."""
+        module = parse_module(COUNTER_SOURCE)
+        path = tmp_path / "machine.journal"
+        machine = ReactiveMachine(module)
+        sup = MachineSupervisor(machine, journal=FileJournal(str(path)))
+        for _ in range(5):
+            sup.react({"tick": True})
+        snap_at = sup.last_checkpoint["reaction_count"]
+        sup.journal.close()
+
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 9])  # tear the final append
+
+        recovered = ReactiveMachine(module)
+        journal = FileJournal(str(path))
+        assert journal.torn_tail is not None
+        recovered.restore(sup.last_checkpoint)
+        recovered.replay(journal.entries(snap_at))
+        # the torn final record was the commit of instant 5; the entry
+        # itself survived, so the replayed machine still reaches rc 5
+        assert recovered.reaction_count == len(journal.entries(snap_at)) + snap_at
+        journal.close()

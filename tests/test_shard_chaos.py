@@ -1,0 +1,159 @@
+"""Seeded chaos for sharded fleets: SIGKILLed workers must lose no
+committed instant and duplicate no host effect.
+
+These tests drive a sharded Skini audience while a
+:class:`~repro.host.chaos.WorkerCrasher` SIGKILLs whole worker
+processes — between instants and mid-instant (after a seeded number of
+write-ahead journal appends).  After every storm the surviving fleet
+must be byte-identical to a single-process oracle (zero lost committed
+instants) and the union of every worker's ``effects.log`` — including
+the dead workers' — must match the oracle's effect ledger exactly
+(exactly-once host effects: committed instants replay silently,
+uncommitted tails redo live precisely once).
+"""
+
+import glob
+import json
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro import ReactiveMachine, ShardManager
+from repro.apps.skini.participant import participant_module
+from repro.host import WorkerCrasher
+
+EFFECTS = ("request", "playing", "done")
+
+SCRIPT = [
+    {"select": 7}, {}, {"grant": 2}, {}, {"stop": True}, {},
+    {"select": 3}, {}, {"grant": 1}, {"stop": True}, {"select": 9}, {},
+]
+
+
+def oracle_run(module, script):
+    """Drive a single-process oracle; return (machine, per-member effect
+    ledger for one member as ``[(seq, signal, value), ...]``)."""
+    machine = ReactiveMachine(module)
+    ledger = []
+    for seq, inputs in enumerate(script):
+        emitted = dict(machine.react(dict(inputs)))
+        for name in EFFECTS:
+            if name in emitted:
+                ledger.append((seq, name, emitted[name]))
+    return machine, ledger
+
+
+def collect_effects(journal_dir):
+    """The union of every worker's effect log (dead workers included),
+    grouped per member as ``[(seq, signal, value), ...]``."""
+    per_member = {}
+    for path in glob.glob(os.path.join(journal_dir, "worker-*", "effects.log")):
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                per_member.setdefault(rec["member"], []).append(
+                    (rec["seq"], rec["signal"], rec["value"])
+                )
+    return per_member
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("seed", range(20))
+def test_seeded_worker_storm_exactly_once(seed, tmp_path):
+    module = participant_module()
+    oracle, expected_ledger = oracle_run(module, SCRIPT)
+
+    size = 12
+    with ShardManager(
+        module,
+        shards=3,
+        size=size,
+        journal_dir=str(tmp_path),
+        checkpoint_every=4,
+        effect_signals=EFFECTS,
+    ) as manager:
+        crasher = WorkerCrasher(manager, seed=seed)
+        rng = random.Random(seed ^ 0x5EED)
+        crash_steps = set(rng.sample(range(len(SCRIPT)), 2))
+        for step, inputs in enumerate(SCRIPT):
+            if step in crash_steps and len(manager.live_workers()) > 1:
+                crasher.kill_at_random()
+            manager.react_all(dict(inputs))
+
+        assert sum(crasher.crash_stats.values()) == 2
+        assert manager.stats["failovers"] >= 1
+        # zero lost committed instants: every member reaches the same
+        # state as the never-crashed oracle
+        for gid in range(size):
+            assert manager.member_digest(gid) == oracle.state_digest(), (
+                f"seed {seed}: member {gid} diverged after crashes"
+            )
+
+    effects = collect_effects(str(tmp_path))
+    for gid in range(size):
+        got = sorted(effects.get(gid, []))
+        assert got == sorted(expected_ledger), (
+            f"seed {seed}: member {gid} effect ledger mismatch "
+            "(lost or duplicated host effects)"
+        )
+
+
+@pytest.mark.timeout(300)
+def test_thousand_member_fleet_survives_worker_sigkill(tmp_path):
+    """The acceptance-scale run: a 1000-member Skini audience over 4
+    worker processes survives a hard SIGKILL of one worker mid-run with
+    zero lost committed instants and no duplicated host effects."""
+    module = participant_module()
+    # the opening select primes the initial await; every later instant
+    # fires a host effect, so the exactly-once check has teeth
+    script = [
+        {"select": 0}, {"select": 7}, {}, {"grant": 2}, {"stop": True},
+        {"select": 9},
+    ]
+    oracle, expected_ledger = oracle_run(module, script)
+
+    size = 1000
+    with ShardManager(
+        module,
+        shards=4,
+        size=size,
+        journal_dir=str(tmp_path),
+        checkpoint_every=2,
+        effect_signals=EFFECTS,
+    ) as manager:
+        assert len(manager.live_workers()) == 4
+        for step, inputs in enumerate(script):
+            if step == 3:
+                victim = manager.live_workers()[1]
+                os.kill(victim.pid, signal.SIGKILL)
+                time.sleep(0.05)
+            manager.react_all(dict(inputs))
+
+        assert manager.stats["failovers"] == 1
+        assert manager.stats["members_recovered"] == 250
+        assert len(manager.live_workers()) == 3
+        assert len(manager) == size
+
+        # spot-check digests densely enough to notice any divergence,
+        # then verify reaction counts for everyone via worker stats
+        for gid in range(0, size, 25):
+            assert manager.member_digest(gid) == oracle.state_digest()
+        beat = manager.heartbeat()
+        reactions = sum(
+            v["reactions"] for v in beat.values() if isinstance(v, dict)
+        )
+        assert reactions == size * len(script)
+
+    effects = collect_effects(str(tmp_path))
+    assert set(effects) == set(range(size))
+    want = sorted(expected_ledger)
+    for gid in range(size):
+        assert sorted(effects[gid]) == want, (
+            f"member {gid}: lost or duplicated host effects"
+        )
