@@ -1,7 +1,7 @@
 """F1 — shared-plan machine fleets (the Skini audience at concert scale).
 
 The paper's Skini deployment runs one small synchronous program per
-audience member — thousands of instances of the *same* module.  Two
+audience member — thousands of instances of the *same* module.  Three
 claims are gated here and recorded in BENCH_fleet.json:
 
 * construction amortization: building a 1000-member fleet through the
@@ -10,7 +10,10 @@ claims are gated here and recorded in BENCH_fleet.json:
 * steady state: a fleet of mid-size machines on the sparse dirty-cone
   backend must drive ``react_all`` ≥2× faster than the full levelized
   sweep (the per-member circuit is above the ``SPARSE_MIN_NETS`` auto
-  floor, so this is also what ``backend="auto"`` picks).
+  floor, so this is also what ``backend="auto"`` picks);
+* lockstep word parallelism: a 1024-member audience driven through the
+  bit-parallel word engine must beat the scalar shared-plan drive ≥10×
+  under all-shared inputs and ≥2× with 10% of the fleet pinned scalar.
 
 The per-member memory split (shared compiled plan vs per-machine state)
 rides along for the report.
@@ -30,6 +33,9 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
 FLEET_SIZE = 1000
 CONSTRUCTION_GATE = 20.0
 STEADY_STATE_GATE = 2.0
+LOCKSTEP_MEMBERS = 1024
+LOCKSTEP_SHARED_GATE = 10.0
+LOCKSTEP_MIXED_GATE = 2.0
 
 
 def _update_bench_json(section, payload):
@@ -146,6 +152,71 @@ def test_fleet_sparse_steady_state_speedup():
         f"sparse fleet only {speedup:.2f}x faster "
         f"(levelized {medians['levelized']:.3f} ms, "
         f"sparse {medians['sparse']:.3f} ms)"
+    )
+
+
+def test_fleet_lockstep_word_parallel_speedup():
+    """The bit-parallel gate: a 1024-member audience on the lockstep
+    word engine vs the scalar shared-plan fleet drive.
+
+    Two scenarios are gated: all-shared quiescent inputs (one word
+    evaluation serves the whole fleet, ≥10×) and a sustained mixed fleet
+    where 10% of the members are pinned scalar — a reaction budget makes
+    them permanently word-ineligible, modelling members the word cannot
+    express — while the remaining 90% stay resident (≥2×)."""
+    word = make_audience_fleet(LOCKSTEP_MEMBERS)
+    assert word._engine is not None, "auto policy should pick lockstep"
+    scalar = make_audience_fleet(LOCKSTEP_MEMBERS, backend="sparse")
+    for fleet in (word, scalar):
+        fleet.react_all({})
+        _median_react_all_ms(fleet, {}, rounds=5)  # settle
+
+    shared_word_ms = _median_react_all_ms(word, {})
+    shared_scalar_ms = _median_react_all_ms(scalar, {})
+    shared_speedup = shared_scalar_ms / shared_word_ms
+
+    # sustained divergence: every 10th member gets a reaction budget
+    # (word-ineligible) and is demoted through an external react
+    for index in range(0, LOCKSTEP_MEMBERS, 10):
+        word[index].reaction_budget = 10**9
+        word[index].react({})
+    word.react_all({})
+    resident = word._engine.resident_count
+    assert resident <= LOCKSTEP_MEMBERS - LOCKSTEP_MEMBERS // 10
+
+    mixed_word_ms = _median_react_all_ms(word, {})
+    mixed_speedup = shared_scalar_ms / mixed_word_ms
+
+    stats = word.stats()["lockstep"]
+    packed = word.memory_report()["lockstep"]
+    _update_bench_json(
+        "lockstep",
+        {
+            "members": LOCKSTEP_MEMBERS,
+            "module": "Participant",
+            "shared_inputs": {
+                "lockstep_ms": round(shared_word_ms, 4),
+                "scalar_ms": round(shared_scalar_ms, 4),
+                "speedup": round(shared_speedup, 1),
+            },
+            "mixed_10pct_scalar": {
+                "resident": resident,
+                "lockstep_ms": round(mixed_word_ms, 4),
+                "scalar_ms": round(shared_scalar_ms, 4),
+                "speedup": round(mixed_speedup, 1),
+            },
+            "lowered_nets": stats["lowered_nets"],
+            "fired_nets": stats["fired_nets"],
+            "packed_bytes": packed["total_bytes"],
+        },
+    )
+    assert shared_speedup >= LOCKSTEP_SHARED_GATE, (
+        f"lockstep only {shared_speedup:.1f}x under shared inputs "
+        f"(word {shared_word_ms:.3f} ms, scalar {shared_scalar_ms:.3f} ms)"
+    )
+    assert mixed_speedup >= LOCKSTEP_MIXED_GATE, (
+        f"mixed lockstep only {mixed_speedup:.1f}x "
+        f"(word {mixed_word_ms:.3f} ms, scalar {shared_scalar_ms:.3f} ms)"
     )
 
 

@@ -97,6 +97,10 @@ def fleet_concert(members: int = 1000) -> None:
     start = time.perf_counter()
     for second in range(120):
         conductor.step()
+        # the musical pulse: one broadcast instant per simulated second.
+        # On audiences of 64+ this is a single lockstep word evaluation,
+        # and it re-promotes members that diverged through react_one.
+        fleet.react_all({})
         open_groups = conductor.open_groups()
         # a slice of the audience taps a pattern from some open group
         if open_groups:
@@ -117,8 +121,15 @@ def fleet_concert(members: int = 1000) -> None:
     print(f"  120 simulated seconds: {reactions} participant reactions in "
           f"{drive_ms:.0f} ms ({1000 * drive_ms / max(reactions, 1):.1f} us each)")
     print(f"  {granted} requests granted, {done} patterns played to completion")
-    backends = fleet.stats()["backends"]
-    print(f"  backends: {backends} (41-net participants stay on the full sweep)")
+    stats = fleet.stats()
+    print(f"  backends: {stats['backends']} "
+          f"(41-net participants stay on the full sweep)")
+    lockstep = stats.get("lockstep")
+    if lockstep is not None:
+        print(f"  lockstep: {lockstep['resident']} word-resident / "
+              f"{lockstep['scalar']} scalar after "
+              f"{lockstep['word_instants']} word instants "
+              f"(demotions: {lockstep['demotions']})")
 
 
 if __name__ == "__main__":

@@ -59,7 +59,13 @@ def participant_module() -> Module:
 
 
 def make_audience_fleet(size: int, backend: str = "auto", **kwargs) -> MachineFleet:
-    """A fleet of ``size`` participant machines sharing one compiled plan."""
+    """A fleet of ``size`` participant machines sharing one compiled plan.
+
+    The participant plan is pure (acyclic, straight-line), so with
+    ``backend="auto"`` any audience of 64+ members also gets the
+    bit-parallel lockstep engine: one word evaluation per instant drives
+    every quiescent member, and members touched individually (a tap, a
+    grant, a snapshot) transparently fall back to their scalar path."""
     return MachineFleet(participant_module(), size=size, backend=backend, **kwargs)
 
 

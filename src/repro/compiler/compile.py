@@ -57,6 +57,10 @@ class CompiledModule:
     #: lazily-built signal lookup tables (status-net → slot etc.), shared
     #: by every machine; see ``ReactiveMachine._signal_maps``
     _signal_maps: Optional[tuple] = field(default=None, repr=False, compare=False)
+    #: lazily-built word-parallel plan (see ``repro.compiler.wordplan``),
+    #: shared by every lockstep fleet constructed from this compiled
+    #: module
+    _word_plan: Optional[object] = field(default=None, repr=False, compare=False)
     #: structural compile fingerprint (the compile-cache key: sha256 of the
     #: pretty-printed sources + embedded callable ids + options), used to
     #: stamp machine snapshots so they refuse to restore onto a
@@ -77,6 +81,18 @@ class CompiledModule:
 
             self._plan = build_plan(self.circuit)
         return self._plan
+
+    def word_plan(self):
+        """The compiled word-parallel plan
+        (:class:`~repro.compiler.wordplan.WordPlan`) over
+        :meth:`evaluation_plan`, built on first use and cached; raises
+        ``ValueError`` on impure (cyclic) plans, which are not
+        word-eligible."""
+        if self._word_plan is None:
+            from repro.compiler.wordplan import build_word_plan
+
+            self._word_plan = build_word_plan(self.evaluation_plan())
+        return self._word_plan
 
 
 def compile_module(

@@ -53,6 +53,7 @@ class Net:
         "payload",
         "deps",
         "init",
+        "expr_info",
     )
 
     def __init__(
@@ -75,6 +76,13 @@ class Net:
         self.deps: List[int] = []
         #: for REG nets: the boot value
         self.init: bool = False
+        #: for EXPR nets built from a plain host expression: the
+        #: ``(expr, scope)`` pair behind ``payload``, kept so the word
+        #: plan (:mod:`repro.compiler.wordplan`) can lower pure-status
+        #: tests to bitwise column operations instead of per-member
+        #: payload calls; ``None`` for custom closures (counted delays,
+        #: emit/atom/exec actions)
+        self.expr_info: Optional[tuple] = None
 
     @property
     def enable(self) -> Literal:

@@ -140,6 +140,10 @@ class Translator:
 
     def _expr_net(self, enable: Literal, expr: E.Expr, label: str, loc=None) -> Net:
         net = self.circ.expr_net(enable, self._expr_payload(expr), (), label, loc)
+        # Keep the expression and its scope snapshot next to the payload:
+        # the word plan lowers pure-status tests (now/pre/!/&&/||) to
+        # bitwise column operations, which needs the source expression.
+        net.expr_info = (expr, self._snapshot())
         self._register_reads(net, expr)
         return net
 

@@ -38,7 +38,14 @@ from repro.runtime.ingress import (
     Mailbox,
     TokenBucket,
 )
-from repro.runtime.machine import ModuleLike, ReactionResult, ReactiveMachine
+from repro.runtime.lockstep import LockstepFleet
+from repro.runtime.machine import BACKENDS, ModuleLike, ReactionResult, ReactiveMachine
+
+#: ``backend="auto"`` fleets enable the lockstep word engine only at or
+#: above this construction size: below it, the per-instant word overhead
+#: (plane rolls, batch partitioning) costs more than the handful of
+#: scalar reactions it replaces.
+LOCKSTEP_MIN_MEMBERS = 64
 
 
 class MachineFleet:
@@ -67,11 +74,41 @@ class MachineFleet:
             self.compiled = compile_cached(module, modules, options)
         # Build the shared evaluation plan eagerly so no member pays it.
         self.plan = self.compiled.evaluation_plan()
+        if backend not in BACKENDS and backend != "lockstep":
+            raise MachineError(
+                f"unknown fleet backend {backend!r}; expected one of "
+                f"{BACKENDS + ('lockstep',)}"
+            )
         self.backend = backend
+        # The lockstep word engine: explicit `backend="lockstep"` always
+        # (raising on impure plans), `auto` only for pure plans at
+        # audience scale; members themselves are always scalar machines
+        # ("auto" backend) — the engine anchors correctness on them by
+        # demoting anything it cannot express.
+        if backend == "lockstep":
+            # let the engine raise its MachineError on impure plans
+            # before any word-plan compilation is attempted
+            self._engine: Optional[LockstepFleet] = LockstepFleet(
+                self.plan,
+                self.compiled.word_plan() if self.plan.is_pure else None,
+            )
+        elif (
+            backend == "auto"
+            and self.plan.is_pure
+            and size >= LOCKSTEP_MIN_MEMBERS
+        ):
+            self._engine = LockstepFleet(self.plan, self.compiled.word_plan())
+        else:
+            self._engine = None
+        self._member_backend = "auto" if backend == "lockstep" else backend
         self._machine_kwargs = machine_kwargs
         self._machines: List[ReactiveMachine] = []
-        for _ in range(size):
-            self.spawn()
+        #: cached full-broadcast partition, keyed on the engine's
+        #: membership generation: (generation, members, word_batch,
+        #: scalar_indices)
+        self._partition_cache: Optional[Any] = None
+        if size:
+            self.spawn_many(size)
 
     # -- membership -----------------------------------------------------
 
@@ -80,17 +117,28 @@ class MachineFleet:
         adding it to the fleet — e.g. to pre-warm spares whose circuit
         allocation should happen off a latency-critical path."""
         kwargs = {**self._machine_kwargs, **overrides}
-        return ReactiveMachine(self.compiled, backend=self.backend, **kwargs)
+        return ReactiveMachine(self.compiled, backend=self._member_backend, **kwargs)
 
     def spawn(self, **overrides: Any) -> ReactiveMachine:
         """Add one member (keyword overrides win over the fleet
         defaults) and return it."""
         machine = self.build_machine(**overrides)
         self._machines.append(machine)
+        if self._engine is not None:
+            self._engine.try_promote(machine)
         return machine
 
     def spawn_many(self, count: int) -> List[ReactiveMachine]:
-        return [self.spawn() for _ in range(count)]
+        """Bulk membership growth: builds ``count`` members off the
+        shared plan, appends them in one extend, and — when the lockstep
+        engine is on — promotes them with the boot-pattern bulk path
+        (one plane OR per init register for the whole cohort) instead of
+        ``count`` per-member state walks."""
+        machines = [self.build_machine() for _ in range(count)]
+        self._machines.extend(machines)
+        if self._engine is not None:
+            self._engine.promote_fresh(machines)
+        return machines
 
     def __len__(self) -> int:
         return len(self._machines)
@@ -118,37 +166,110 @@ class MachineFleet:
         instant."""
         shared = inputs or {}
         return self._drive_batch(
-            range(len(self._machines)), lambda index, machine: shared
+            range(len(self._machines)),
+            lambda index, machine: shared,
+            shared=shared,
         )
 
     def _drive_batch(
         self,
         indices: Any,
         make_inputs: Callable[[int, ReactiveMachine], Dict[str, Any]],
-    ) -> List[ReactionResult]:
-        """Run one reaction on each addressed member, completing the whole
-        batch before reporting failures (shared by ``react_all`` /
-        ``broadcast``)."""
-        results: List[Optional[ReactionResult]] = [None] * len(self._machines)
+        shared: Optional[Dict[str, Any]] = None,
+        as_dict: bool = False,
+    ) -> Any:
+        """Run one reaction on each addressed member, completing the
+        whole batch before reporting failures (shared by ``react_all`` /
+        ``broadcast`` / ``react_each``).
+
+        Word-resident members are partitioned into one lockstep word
+        instant (``shared`` marks the broadcast case where every member
+        got the same map, enabling the engine's shared-result path);
+        everyone else reacts scalar, and a clean scalar reaction
+        re-promotes the member into the word for the next batch.
+        """
+        indices = list(indices)
+        results: Any = {} if as_dict else [None] * len(self._machines)
         completed: List[int] = []
         failures: Dict[int, Exception] = {}
-        for index in indices:
+        engine = self._engine
+        scalar_indices: List[int] = []
+        if engine is not None and engine.resident_count:
+            members = len(self._machines)
+            full = shared is not None and len(indices) == members
+            word_batch: Optional[List[Any]] = None
+            if full and self._partition_cache is not None:
+                generation, cached_members, batch, scalars = (
+                    self._partition_cache
+                )
+                if generation == engine.generation and cached_members == members:
+                    word_batch, scalar_indices = batch, scalars
+            if word_batch is None:
+                word_batch = []
+                for index in indices:
+                    machine = self._machines[index]
+                    bit = machine._lockstep_bit
+                    if bit < 0:
+                        scalar_indices.append(index)
+                    elif shared is not None:
+                        # the engine reads inputs from `shared` in this
+                        # mode; None keeps the cached tuples call-agnostic
+                        word_batch.append((index, bit, None))
+                    else:
+                        try:
+                            word_batch.append(
+                                (index, bit, make_inputs(index, machine))
+                            )
+                        except Exception as err:
+                            failures[index] = err
+                if full:
+                    self._partition_cache = (
+                        engine.generation,
+                        members,
+                        word_batch,
+                        scalar_indices,
+                    )
+            if word_batch:
+                default, specials, word_failures = engine.react(
+                    word_batch, shared=shared
+                )
+                if (
+                    full
+                    and not scalar_indices
+                    and not specials
+                    and not word_failures
+                    and not failures
+                ):
+                    # whole fleet shared one quiescent result
+                    return [default] * members
+                failures.update(word_failures)
+                for index, _, _ in word_batch:
+                    if index not in word_failures:
+                        results[index] = specials.get(index, default)
+                        completed.append(index)
+        else:
+            scalar_indices = indices
+        for index in scalar_indices:
             machine = self._machines[index]
             try:
                 results[index] = machine.react(make_inputs(index, machine))
                 completed.append(index)
             except Exception as err:
                 failures[index] = err
+            else:
+                if engine is not None:
+                    engine.try_promote(machine)
+        completed.sort()
         if failures:
             raise FleetReactionError(
-                f"{len(failures)} of {len(self._machines)} fleet members "
+                f"{len(failures)} of {len(indices)} addressed members "
                 f"failed the instant (members {sorted(failures)}); "
                 f"{len(completed)} completed",
                 completed=completed,
                 failures=failures,
                 results=results,
             )
-        return results  # type: ignore[return-value]
+        return results
 
     def react_one(
         self, index: int, inputs: Optional[Dict[str, Any]] = None
@@ -170,25 +291,17 @@ class MachineFleet:
         member's failure is raised (as a
         :class:`~repro.errors.FleetReactionError` whose ``results`` is a
         dict keyed by member index)."""
-        results: Dict[int, ReactionResult] = {}
-        completed: List[int] = []
-        failures: Dict[int, Exception] = {}
-        for index, inputs in inputs_by_member.items():
-            try:
-                results[index] = self.react_one(index, inputs)
-                completed.append(index)
-            except Exception as err:
-                failures[index] = err
-        if failures:
-            raise FleetReactionError(
-                f"{len(failures)} of {len(inputs_by_member)} addressed "
-                f"members failed (members {sorted(failures)}); "
-                f"{len(completed)} completed",
-                completed=completed,
-                failures=failures,
-                results=results,
-            )
-        return results
+        for index in inputs_by_member:
+            if not 0 <= index < len(self._machines):
+                raise MachineError(
+                    f"fleet has {len(self._machines)} members, no index "
+                    f"{index}"
+                )
+        return self._drive_batch(
+            inputs_by_member,
+            lambda index, machine: inputs_by_member[index],
+            as_dict=True,
+        )
 
     def broadcast(
         self, make_inputs: Callable[[int, ReactiveMachine], Dict[str, Any]]
@@ -206,24 +319,34 @@ class MachineFleet:
         backends: Dict[str, int] = {}
         for machine in self._machines:
             backends[machine.backend] = backends.get(machine.backend, 0) + 1
-        return {
+        stats = {
             "members": len(self._machines),
             "module": self.compiled.module.name,
             "nets": len(self.compiled.circuit.nets),
             "backends": backends,
             "reactions": sum(m.reaction_count for m in self._machines),
         }
+        engine = self._engine
+        if engine is not None:
+            lockstep = engine.stats()
+            lockstep["scalar"] = len(self._machines) - lockstep["resident"]
+            stats["lockstep"] = lockstep
+        return stats
 
     def memory_report(self) -> Dict[str, Any]:
         """The shared-plan amortization story in bytes: one circuit and
-        one evaluation plan however many members, plus per-member state."""
+        one evaluation plan however many members, plus per-member state.
+        With the lockstep engine on, a ``lockstep`` sub-report adds the
+        packed-column split (register planes / status planes / word
+        plan); those bytes are engine overhead on top of ``total_bytes``,
+        which keeps its shared + members × per-machine meaning."""
         circuit = self.compiled.circuit
         shared = circuit.memory_estimate() + self.plan.memory_estimate()
         per_machine = circuit.per_machine_state_estimate()
         members = len(self._machines)
         total = shared + per_machine * members
         naive = (shared + per_machine) * max(members, 1)
-        return {
+        report = {
             "members": members,
             "shared_bytes": shared,
             "per_machine_bytes": per_machine,
@@ -231,6 +354,9 @@ class MachineFleet:
             "unshared_total_bytes": naive,
             "amortization": round(naive / total, 2) if total else 0.0,
         }
+        if self._engine is not None:
+            report["lockstep"] = self._engine.memory_bytes()
+        return report
 
     def __repr__(self) -> str:
         return (

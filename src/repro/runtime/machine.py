@@ -265,6 +265,12 @@ class ReactiveMachine:
         self._budget_aborts = 0
         #: attached bounded ingress mailbox (see :meth:`attach_mailbox`)
         self._mailbox: Optional[Mailbox] = None
+        #: the lockstep fleet engine this machine is word-resident in,
+        #: and its bit slot there (see :mod:`repro.runtime.lockstep`);
+        #: while resident, the scalar scheduler's register state is stale
+        #: and any scalar access must demote first (:meth:`_ensure_scalar`)
+        self._lockstep: Optional[Any] = None
+        self._lockstep_bit = -1
 
         self._boot_values()
 
@@ -338,6 +344,16 @@ class ReactiveMachine:
         reactions (from ``this.react`` / ``notify``) are scheduled on it."""
         self._loop = loop
 
+    def _ensure_scalar(self) -> None:
+        """Leave the lockstep word before any scalar access: while a
+        machine is word-resident its scheduler's register state lives in
+        the fleet's packed bitplanes, so direct reacts, snapshots,
+        restores, resets, replays and journal/mailbox attachment first
+        demote it (exporting the packed bits back).  No-op otherwise, and
+        mid-payload (the word engine owns the instant)."""
+        if self._lockstep is not None and not self._reacting:
+            self._lockstep.demote(self, "external")
+
     # ------------------------------------------------------------------
     # the public reaction API
     # ------------------------------------------------------------------
@@ -363,6 +379,7 @@ class ReactiveMachine:
                 "reentrant react(): reactions are atomic; use this.react() "
                 "from async bodies to queue one"
             )
+        self._ensure_scalar()
         limit = self._resolve_budget(budget)
         self._budget_left = limit
         try:
@@ -417,6 +434,7 @@ class ReactiveMachine:
         in front of this machine (default: one built by
         :meth:`Mailbox.for_machine`, whose coalescing respects the
         machine's declared combine functions).  Returns the mailbox."""
+        self._ensure_scalar()
         if mailbox is None:
             mailbox = Mailbox.for_machine(self, capacity=capacity, policy=policy)
         self._mailbox = mailbox
@@ -580,6 +598,12 @@ class ReactiveMachine:
             input_values[info.input_net.id] = True
             signals[info.slot].write(value)
             touched.add(info.slot)
+            # Active immediately, not just at the post-sweep refresh: if
+            # this reaction aborts (a later input name is unknown, a
+            # payload raises), the next begin_instant must still reset
+            # this signal's instant state, exactly like the full-sweep
+            # backends do for every slot.
+            self._active_slots.add(info.slot)
 
         for state in self._execs:
             if state.running and state.pending:
@@ -735,6 +759,7 @@ class ReactiveMachine:
         re-armed to its closed state — a reset machine is never born
         degraded by its previous life.
         """
+        self._ensure_scalar()
         self._scheduler.clear_state()
         for state in self._execs:
             state.stop()
@@ -772,6 +797,7 @@ class ReactiveMachine:
         :mod:`repro.runtime.journal`): every subsequent instant appends a
         :class:`~repro.runtime.journal.JournalEntry` *before* reacting.
         Returns the journal.  Pass ``None`` to detach."""
+        self._ensure_scalar()
         self._journal = journal
         return journal
 
@@ -803,6 +829,7 @@ class ReactiveMachine:
                 "cannot snapshot mid-reaction: snapshots are taken at "
                 "instant boundaries"
             )
+        self._ensure_scalar()
         execs: List[Dict[str, Any]] = []
         for state in self._execs:
             failure = state.last_error
@@ -863,6 +890,7 @@ class ReactiveMachine:
         """
         if self._reacting:
             raise SnapshotError("cannot restore mid-reaction")
+        self._ensure_scalar()
         if not isinstance(snap, Mapping):
             raise SnapshotError(f"snapshot payload must be a mapping, got {type(snap).__name__}")
         if snap.get("format") != SNAPSHOT_FORMAT:
@@ -960,6 +988,7 @@ class ReactiveMachine:
         first)."""
         if self._reacting:
             raise MachineError("cannot replay during a reaction")
+        self._ensure_scalar()
         results: List[ReactionResult] = []
         self._replaying = True
         try:
