@@ -52,6 +52,90 @@ def schizo_module(depth: int) -> Module:
     return parse_module(schizo_source(depth))
 
 
+def modular_score_source(instances: int, stages: int = 2) -> str:
+    """A Skini-style score: ``instances`` parallel ``run Worker(...)``
+    instantiations of one shared module whose body has ``stages``
+    pipeline stages (locals, counted awaits, a trap over a 3-branch
+    fork).  The family where sub-circuit linking pays: the callee is
+    compiled once and stamped per instance, while the inlined seed path
+    re-translates its body at every ``run`` site.
+    """
+    stage = """
+    signal L1%i, L2%i;
+    T%i: {
+      fork {
+        await count(3, T.now);
+        emit L1%i;
+      } par {
+        loop {
+          if (R.now) { emit L2%i; }
+          await T.now;
+        }
+      } par {
+        await L1%i.now;
+        break T%i;
+      }
+    }
+    emit O;
+    if (L2%i.pre) { emit P; }
+    await R.now;
+"""
+    body = "\n".join(stage.replace("%i", str(s)) for s in range(stages))
+    worker = (
+        "module Worker(in T, in R, out O, out P) {\n  loop {\n"
+        + body
+        + "  }\n}\n"
+    )
+    branches = ["    run Worker(...);"]
+    branches += ["  } par {\n    run Worker(...);" for _ in range(instances - 1)]
+    score = (
+        "module Score(in T, in R, out O, out P) {\n  fork {\n"
+        + "\n".join(branches)
+        + "\n  }\n}\n"
+    )
+    return worker + score
+
+
+def modular_score(instances: int, stages: int = 2):
+    """Parse the modular score family; returns ``(entry, table)``."""
+    from repro.syntax.parser import parse_program
+
+    table = parse_program(modular_score_source(instances, stages))
+    return table.get("Score"), table
+
+
+def nested_run_source(depth: int, fanout: int = 2) -> str:
+    """A ``depth``-deep chain of modules, each forking ``fanout`` runs of
+    the next one down; the leaf is a 1-stage Worker.  ``fanout**depth``
+    leaf instances from ``depth + 1`` module bodies — the family where
+    sub-circuit linking's per-module (not per-instance) translation cost
+    shows: templates nest, so each level is translated once no matter how
+    many times the levels above instantiate it.
+    """
+    parts = [modular_score_source(1, 1).split("module Score")[0]]
+    prev = "Worker"
+    for level in range(1, depth + 1):
+        branches = [f"    run {prev}(...);"]
+        branches += [
+            f"  }} par {{\n    run {prev}(...);" for _ in range(fanout - 1)
+        ]
+        parts.append(
+            f"module Level{level}(in T, in R, out O, out P) {{\n  fork {{\n"
+            + "\n".join(branches)
+            + "\n  }\n}\n"
+        )
+        prev = f"Level{level}"
+    return "\n".join(parts)
+
+
+def nested_run(depth: int, fanout: int = 2):
+    """Parse the nested-run family; returns ``(entry, table)``."""
+    from repro.syntax.parser import parse_program
+
+    table = parse_program(nested_run_source(depth, fanout))
+    return table.get(f"Level{depth}"), table
+
+
 def compiled_machine(
     units: int, optimize: bool = True, backend: str = "auto"
 ) -> ReactiveMachine:

@@ -8,6 +8,7 @@ back half (the reactive machine wrapping the circuit simulator) lives in
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -33,11 +34,22 @@ class CompileOptions:
         ``never`` force the choice (ablation A2 of DESIGN.md).
     :param check_cycles: run the static combinational-cycle analysis and
         collect warnings (the paper's compile-time deadlock warning).
+    :param link: compile ``run M(...)`` sites by sub-circuit linking
+        (:mod:`repro.compiler.link`): each linkable module body is
+        translated, optimized and cycle-checked *once* into a cached
+        template, and every instantiation stamps a relocated copy —
+        O(interface + net copy) per site instead of a full re-translate.
+        Modules that defeat linking (recursion, ``var`` parameters, free
+        names, instance frame vars) fall back to inlining.  When linking
+        actually happened, the final circuit gets only a dead-net sweep
+        and cycle warnings come from the templates, not a whole-program
+        re-analysis.
     """
 
     optimize: bool = True
     loop_duplication: str = AUTO
     check_cycles: bool = True
+    link: bool = False
 
 
 @dataclass
@@ -61,12 +73,33 @@ class CompiledModule:
     #: shared by every lockstep fleet constructed from this compiled
     #: module
     _word_plan: Optional[object] = field(default=None, repr=False, compare=False)
-    #: structural compile fingerprint (the compile-cache key: sha256 of the
-    #: pretty-printed sources + embedded callable ids + options), used to
-    #: stamp machine snapshots so they refuse to restore onto a
-    #: structurally different program.  Unrenderable modules fall back to
-    #: a circuit-shape digest.
-    fingerprint: str = ""
+    #: backing store for :attr:`fingerprint`, computed on first access
+    _fingerprint: Optional[str] = field(default=None, repr=False, compare=False)
+    #: ``(modules, options)`` needed for the deferred fingerprint
+    _fingerprint_inputs: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def fingerprint(self) -> str:
+        """Structural compile fingerprint (the compile-cache key: sha256
+        of the pretty-printed sources + embedded callable ids + options),
+        used to stamp machine snapshots so they refuse to restore onto a
+        structurally different program.  Unrenderable modules fall back to
+        a circuit-shape digest.  Rendering the whole module table costs a
+        nontrivial slice of a fast (linked) compile, so the digest is
+        deferred until someone actually snapshots, persists, or caches."""
+        if self._fingerprint is None:
+            modules, options = self._fingerprint_inputs or (None, None)
+            self._fingerprint = (
+                _structural_key(self.module, modules, options)
+                or _shape_fingerprint(self.circuit)
+            )
+        return self._fingerprint
+
+    @fingerprint.setter
+    def fingerprint(self, value: Optional[str]) -> None:
+        self._fingerprint = value
 
     def stats(self):
         return self.circuit.stats()
@@ -108,21 +141,34 @@ def compile_module(
     cycles are reported as warnings on the result.
     """
     options = options or CompileOptions()
-    kernel, frame_vars = expand_module(module, modules)
+    link = getattr(options, "link", False)
+    kernel, frame_vars = expand_module(module, modules, link=link)
     validate_module(module, kernel)
-    circuit = translate_module(module, kernel, options.loop_duplication)
-    circuit.frame_vars = list(frame_vars)
-    if options.optimize:
-        from repro.compiler.optimize import optimize_circuit
-
-        circuit = optimize_circuit(circuit)
-    warnings: List[str] = []
-    if options.check_cycles:
-        warnings = cycle_warnings(circuit)
-    compiled = CompiledModule(module, circuit, list(frame_vars), warnings, kernel)
-    compiled.fingerprint = (
-        _structural_key(module, modules, options) or _shape_fingerprint(circuit)
+    circuit = translate_module(
+        module,
+        kernel,
+        options.loop_duplication,
+        template_options=(options.optimize, options.check_cycles),
     )
+    circuit.frame_vars = list(frame_vars)
+    warnings: List[str] = []
+    if link and circuit.segments:
+        # Linked instances arrive pre-optimized and pre-cycle-checked from
+        # their templates, and linking remaps template port/constant wires
+        # in place of copying them, so the circuit is already debris-free.
+        # Re-running the global passes here would make every instantiation
+        # O(|whole circuit|) again.
+        warnings = list(circuit.link_warnings)
+    else:
+        if options.optimize:
+            from repro.compiler.optimize import optimize_circuit
+
+            circuit = optimize_circuit(circuit)
+        if options.check_cycles:
+            warnings = cycle_warnings(circuit)
+        warnings.extend(circuit.link_warnings)
+    compiled = CompiledModule(module, circuit, list(frame_vars), warnings, kernel)
+    compiled._fingerprint_inputs = (modules, options)
     return compiled
 
 
@@ -143,6 +189,12 @@ def _shape_fingerprint(circuit: Circuit) -> str:
         f"\x00{len(circuit.signals)}\x00{len(circuit.execs)}"
         f"\x00{len(circuit.counters)}".encode()
     )
+    for counter in circuit.counters:
+        # counted-delay edits (await count change) alter runtime arming
+        # semantics without changing net arities; the rendered count
+        # expression keeps them from aliasing
+        digest.update(b"\x00counter\x00")
+        digest.update(counter.arity.encode())
     return "shape:" + digest.hexdigest()
 
 
@@ -230,7 +282,7 @@ def _structural_key(
     options = options or CompileOptions()
     digest.update(
         f"\x00{options.optimize}\x00{options.loop_duplication}"
-        f"\x00{options.check_cycles}".encode()
+        f"\x00{options.check_cycles}\x00{getattr(options, 'link', False)}".encode()
     )
     return digest.hexdigest()
 
@@ -261,6 +313,9 @@ def compile_cached(
         return cached
     _cache_stats["misses"] += 1
     compiled = compile_module(module, modules, options)
+    # the cache key IS the structural fingerprint; seed the lazy field so
+    # snapshotting this module doesn't re-render the sources
+    compiled.fingerprint = key
     _cache[key] = compiled
     if len(_cache) > COMPILE_CACHE_SIZE:
         _cache.popitem(last=False)
@@ -282,8 +337,12 @@ def compile_cache_stats() -> Dict[str, int]:
 # plan artifacts (worker cold start)
 # ---------------------------------------------------------------------------
 
-#: version tag of the :func:`plan_artifact` payload layout
-PLAN_ARTIFACT_FORMAT = 1
+#: version tag of the :func:`plan_artifact` payload layout.  Format 2
+#: embeds the compiled circuit (closure-free; payload closures rebuilt
+#: from relink specs on hydration) and the serialized evaluation plan, so
+#: a worker cold-starts without ever touching the expander/translator.
+#: Format-1 payloads (recompile-on-hydrate) are still readable.
+PLAN_ARTIFACT_FORMAT = 2
 
 
 def plan_artifact(
@@ -338,7 +397,26 @@ def plan_artifact(
         "modules": modules,
         "options": options,
         "fingerprint": fingerprint,
+        "compiled": None,
     }
+    # Embed the compiled circuit and evaluation plan so hydration is pure
+    # deserialization (cold start).  Pickling them in the same payload as
+    # the module shares the Net/AST objects through the pickle memo.  If
+    # anything in the compiled form resists pickling, fall back to the
+    # recompile-on-hydrate payload rather than failing: hydration handles
+    # both.
+    compiled = compile_cached(module, modules, options)
+    if compiled.fingerprint == fingerprint:
+        try:
+            payload["compiled"] = {
+                "circuit": compiled.circuit,
+                "frame_vars": compiled.frame_vars,
+                "warnings": compiled.warnings,
+                "plan": compiled.evaluation_plan(),
+            }
+            return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            payload["compiled"] = None
     try:
         return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as err:
@@ -348,15 +426,30 @@ def plan_artifact(
         ) from err
 
 
+#: per-process cache of hydrated artifacts, keyed by fingerprint: every
+#: machine a worker hosts shares one compiled circuit and eval plan, and
+#: repeated hydrations of the same artifact are O(dict lookup)
+_hydrate_cache: Dict[str, CompiledModule] = {}
+
+
+def clear_hydrate_cache() -> None:
+    _hydrate_cache.clear()
+
+
 def hydrate_plan_artifact(data: bytes) -> CompiledModule:
     """Rebuild a :class:`CompiledModule` from a :func:`plan_artifact`
-    payload, through the structural compile cache (so every machine a
-    worker hosts shares the one compiled circuit and evaluation plan).
+    payload.
 
-    Verifies the recompiled fingerprint matches the one recorded at
-    artifact creation — a mismatch means the two processes would
-    disagree about snapshot compatibility, which must fail loudly here
-    rather than corrupt a restore later.
+    Format-2 payloads carry the compiled circuit and evaluation plan:
+    hydration deserializes, rebuilds the payload closures from their
+    relink specs and re-attaches the plan — the expander/translator/
+    optimizer never run (the artifact cold-start path).  Format-1 (and
+    format-2 payloads whose compiled form could not be pickled) recompile
+    from the shipped AST through the structural compile cache and verify
+    the recompiled fingerprint matches the one recorded at artifact
+    creation — a mismatch means the two processes would disagree about
+    snapshot compatibility, which must fail loudly here rather than
+    corrupt a restore later.
     """
     from repro.errors import ShardError
 
@@ -364,21 +457,110 @@ def hydrate_plan_artifact(data: bytes) -> CompiledModule:
         payload = pickle.loads(data)
     except Exception as err:
         raise ShardError(f"plan artifact could not be unpickled: {err}") from err
-    if not isinstance(payload, dict) or payload.get("format") != PLAN_ARTIFACT_FORMAT:
+    if not isinstance(payload, dict) or payload.get("format") not in (1, 2):
         raise ShardError(
             f"unsupported plan artifact format "
             f"{payload.get('format') if isinstance(payload, dict) else payload!r} "
-            f"(this runtime reads format {PLAN_ARTIFACT_FORMAT})"
+            f"(this runtime reads formats 1..{PLAN_ARTIFACT_FORMAT})"
         )
-    compiled = compile_cached(
-        payload["module"], payload["modules"], payload["options"]
-    )
     expected = payload["fingerprint"]
-    if compiled.fingerprint != expected:
-        raise ShardError(
-            f"plan artifact fingerprint mismatch: artifact recorded "
-            f"{expected!r}, hydration produced {compiled.fingerprint!r} — "
-            "the module did not survive the process boundary structurally "
-            "intact"
+    cached = _hydrate_cache.get(expected)
+    if cached is not None:
+        return cached
+
+    embedded = payload.get("compiled") if payload["format"] >= 2 else None
+    if embedded is not None:
+        from repro.compiler.translate import rebuild_payloads
+
+        circuit = rebuild_payloads(embedded["circuit"])
+        compiled = CompiledModule(
+            payload["module"],
+            circuit,
+            list(embedded["frame_vars"]),
+            list(embedded["warnings"]),
+            None,
         )
+        compiled.fingerprint = expected
+        plan = embedded.get("plan")
+        if plan is not None:
+            compiled._plan = plan.rebind(circuit)
+    else:
+        compiled = compile_cached(
+            payload["module"], payload["modules"], payload["options"]
+        )
+        if compiled.fingerprint != expected:
+            raise ShardError(
+                f"plan artifact fingerprint mismatch: artifact recorded "
+                f"{expected!r}, hydration produced {compiled.fingerprint!r} — "
+                "the module did not survive the process boundary structurally "
+                "intact"
+            )
+    _hydrate_cache[expected] = compiled
     return compiled
+
+
+class ArtifactStore:
+    """Fingerprint-keyed on-disk store of plan artifacts.
+
+    One entry per compiled program variant (module + resolution table +
+    options), written atomically (temp file + ``os.replace``) so
+    concurrent workers can share a store directory.  ``load`` goes
+    through the per-process hydrate cache, so a worker hosting many
+    machines deserializes each artifact at most once.
+    """
+
+    SUFFIX = ".plan"
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.root, fingerprint + self.SUFFIX)
+
+    def put(
+        self,
+        module: A.Module,
+        modules: Optional[A.ModuleTable] = None,
+        options: Optional[CompileOptions] = None,
+    ) -> str:
+        """Compile (through the caches) and persist; returns the
+        fingerprint key.  Idempotent: an existing entry is kept."""
+        fingerprint = _structural_key(module, modules, options)
+        if fingerprint is not None and os.path.exists(self._path(fingerprint)):
+            return fingerprint
+        data = plan_artifact(module, modules, options)  # raises for non-portable
+        path = self._path(fingerprint)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+        return fingerprint
+
+    def get(self, fingerprint: str) -> bytes:
+        from repro.errors import ShardError
+
+        try:
+            with open(self._path(fingerprint), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            raise ShardError(
+                f"artifact store {self.root!r} has no entry {fingerprint!r}"
+            ) from None
+
+    def load(self, fingerprint: str) -> CompiledModule:
+        """Hydrate the stored artifact (cached per process)."""
+        cached = _hydrate_cache.get(fingerprint)
+        if cached is not None:
+            return cached
+        return hydrate_plan_artifact(self.get(fingerprint))
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return os.path.exists(self._path(fingerprint))
+
+    def fingerprints(self) -> List[str]:
+        return sorted(
+            name[: -len(self.SUFFIX)]
+            for name in os.listdir(self.root)
+            if name.endswith(self.SUFFIX)
+        )

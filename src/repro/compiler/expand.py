@@ -29,13 +29,6 @@ from repro.lang import ast as A
 from repro.lang import expr as E
 from repro.lang.transform import rename_vars_stmt
 
-_fresh_labels = itertools.count()
-_fresh_frames = itertools.count()
-
-
-def _fresh_label(prefix: str) -> str:
-    return f"${prefix}{next(_fresh_labels)}"
-
 
 def _delayed(delay: A.Delay) -> A.Delay:
     """The delay used by restarted iterations: never immediate."""
@@ -46,13 +39,36 @@ def _delayed(delay: A.Delay) -> A.Delay:
 
 class Expander:
     """Stateful expander: resolves ``run`` against a module table and
-    guards against recursive instantiation."""
+    guards against recursive instantiation.
 
-    def __init__(self, modules: Optional[A.ModuleTable] = None):
+    The fresh-name counters are *per instance* so that two compiles of
+    the same program produce byte-identical expansions (and therefore
+    byte-identical plan artifacts); they were once module globals, which
+    made label/frame names depend on process history.
+
+    With ``link=True``, ``run M(...)`` lowers to an
+    :class:`~repro.lang.ast.LinkedRun` node (sub-circuit linking at
+    translation time) whenever the callee qualifies; anything that
+    defeats linking — ``var`` parameters, free trap labels or signal
+    names, frame variables introduced by nested inlining, or a body that
+    would fail validation in its own scope — falls back to today's
+    inlining so behaviour is identical either way.
+    """
+
+    def __init__(self, modules: Optional[A.ModuleTable] = None, link: bool = False):
         self.modules = modules if modules is not None else A.ModuleTable()
+        self.link = link
         self._run_stack: List[str] = []
         #: (frame_name, init Expr|None) pairs for alpha-renamed module vars
         self.frame_vars: List[Tuple[str, Optional[E.Expr]]] = []
+        self._labels = itertools.count()
+        self._frames = itertools.count()
+        #: link-facts cache: id(module) -> (module, body, codes, sensitive,
+        #: emitted) or (module, None) when the module defeats linking
+        self._link_facts: dict = {}
+
+    def _fresh_label(self, prefix: str) -> str:
+        return f"${prefix}{next(self._labels)}"
 
     # ------------------------------------------------------------------
 
@@ -88,6 +104,9 @@ class Expander:
         return stmt
 
     def _expand_exec(self, stmt: A.Exec) -> A.Stmt:
+        return stmt
+
+    def _expand_linkedrun(self, stmt: "A.LinkedRun") -> A.Stmt:
         return stmt
 
     def _expand_seq(self, stmt: A.Seq) -> A.Stmt:
@@ -145,7 +164,7 @@ class Expander:
         return A.Abort(stmt.delay, self._expand_halt(A.Halt(stmt.loc)), stmt.loc)
 
     def _expand_weakabort(self, stmt: A.WeakAbort) -> A.Stmt:
-        label = _fresh_label("weakabort")
+        label = self._fresh_label("weakabort")
         body = self.expand(stmt.body)
         return A.Trap(
             label,
@@ -241,7 +260,16 @@ class Expander:
             raise LinkError(
                 f"run {module.name}: unknown var parameter(s) {sorted(unknown)}"
             )
-        instance = next(_fresh_frames)
+
+        if self.link and not module.variables and not run.var_args:
+            facts = self._linkable_facts(module)
+            if facts is not None:
+                body, codes, sensitive, emitted = facts
+                return A.LinkedRun(
+                    module, mapping, body, codes, sensitive, emitted, run.loc
+                )
+
+        instance = next(self._frames)
         var_map = {v.name: f"{v.name}@{module.name}#{instance}" for v in module.variables}
 
         body = module.body.rename_signals(mapping)
@@ -265,15 +293,176 @@ class Expander:
             return A.Seq([A.Atom(assigns, run.loc), expanded], run.loc)
         return expanded
 
+    # -- linkability ---------------------------------------------------------
 
-def expand_module(module: A.Module, modules: Optional[A.ModuleTable] = None) -> Tuple[A.Stmt, List[Tuple[str, Optional[E.Expr]]]]:
+    def _linkable_facts(self, module: A.Module):
+        """Expand ``module``'s body once (callee-side names) and decide
+        whether it qualifies for sub-circuit linking.
+
+        Returns ``(body, instant_codes, sensitive, emitted)`` or ``None``
+        when the module defeats linking; in the latter case the caller
+        falls back to inlining, where validation reports any problem with
+        its canonical message.  Cached per module object.
+        """
+        cached = self._link_facts.get(id(module))
+        if cached is not None and cached[0] is module:
+            return cached[1]
+
+        frame_mark = len(self.frame_vars)
+        self._run_stack.append(module.name)
+        try:
+            body = self.expand(module.body)
+        except LinkError:
+            raise
+        finally:
+            self._run_stack.pop()
+
+        facts = None
+        if len(self.frame_vars) == frame_mark:
+            # no nested inlining introduced per-instance frame slots the
+            # template would otherwise share across instantiations
+            facts = _analyze_linked_body(module, body)
+        else:
+            del self.frame_vars[frame_mark:]
+        self._link_facts[id(module)] = (module, facts)
+        return facts
+
+
+def _analyze_linked_body(module: A.Module, body: A.Stmt):
+    """Scope-aware walk of an expanded callee body.
+
+    Computes the facts a :class:`~repro.lang.ast.LinkedRun` carries —
+    instant completion codes, incarnation sensitivity, emitted interface
+    names — and rejects (returns ``None``) anything whose behaviour under
+    linking could differ from inlining or whose validation needs the
+    caller's scope: free signal names, free trap labels, or emission of a
+    locally-declared pure input.
+    """
+    from repro.lang.validate import TERMINATE, instant_codes
+    from repro.lang.signals import IN
+
+    iface = {d.name for d in module.interface}
+    emitted: set = set()
+    state = {"sensitive": False, "ok": True}
+
+    def refer(name: str, locals_: dict) -> None:
+        if name not in locals_ and name not in iface:
+            state["ok"] = False
+
+    def refer_expr(expr, locals_: dict) -> None:
+        for name, _kind in expr.signal_deps():
+            refer(name, locals_)
+
+    def emit(name: str, locals_: dict) -> None:
+        decl = locals_.get(name)
+        if decl is not None:
+            if decl.direction == IN:
+                state["ok"] = False  # inlining would reject this too
+            return
+        if name in iface:
+            emitted.add(name)
+        else:
+            state["ok"] = False
+
+    def walk(stmt: A.Stmt, locals_: dict, traps: tuple) -> None:
+        if not state["ok"]:
+            return
+        if isinstance(stmt, (A.Nothing, A.Pause)):
+            return
+        if isinstance(stmt, A.Emit):
+            emit(stmt.signal, locals_)
+            if stmt.value is not None:
+                refer_expr(stmt.value, locals_)
+            return
+        if isinstance(stmt, A.Atom):
+            for host in stmt.body:
+                for expr in host.exprs():
+                    refer_expr(expr, locals_)
+            return
+        if isinstance(stmt, A.Seq):
+            for item in stmt.items:
+                walk(item, locals_, traps)
+            return
+        if isinstance(stmt, A.Par):
+            for branch in stmt.branches:
+                walk(branch, locals_, traps)
+            return
+        if isinstance(stmt, A.Loop):
+            if TERMINATE in instant_codes(stmt.body):
+                state["ok"] = False  # let inlining raise the canonical error
+                return
+            walk(stmt.body, locals_, traps)
+            return
+        if isinstance(stmt, A.If):
+            refer_expr(stmt.test, locals_)
+            walk(stmt.then, locals_, traps)
+            walk(stmt.orelse, locals_, traps)
+            return
+        if isinstance(stmt, (A.Abort, A.Suspend)):
+            refer_expr(stmt.delay.expr, locals_)
+            if stmt.delay.count is not None:
+                refer_expr(stmt.delay.count, locals_)
+                state["sensitive"] = True
+            walk(stmt.body, locals_, traps)
+            return
+        if isinstance(stmt, A.Trap):
+            walk(stmt.body, locals_, traps + (stmt.label,))
+            return
+        if isinstance(stmt, A.Break):
+            if stmt.label not in traps:
+                state["ok"] = False  # free label would capture a caller trap
+            return
+        if isinstance(stmt, A.Local):
+            state["sensitive"] = True
+            for decl in stmt.decls:
+                if decl.init is not None:
+                    refer_expr(decl.init, locals_)
+            inner = dict(locals_)
+            for decl in stmt.decls:
+                inner[decl.name] = decl
+            walk(stmt.body, inner, traps)
+            return
+        if isinstance(stmt, A.Exec):
+            state["sensitive"] = True
+            if stmt.signal is not None:
+                emit(stmt.signal, locals_)
+            for expr in stmt.exprs():
+                refer_expr(expr, locals_)
+            return
+        if isinstance(stmt, A.LinkedRun):
+            if stmt.sensitive:
+                state["sensitive"] = True
+            for n_iface, bound in stmt.bindings.items():
+                if n_iface in stmt.emitted:
+                    emit(bound, locals_)
+                else:
+                    refer(bound, locals_)
+            return
+        # anything unrecognized: be safe, fall back to inlining
+        state["ok"] = False
+
+    walk(body, {}, ())
+    if not state["ok"]:
+        return None
+    codes = instant_codes(body)
+    if any(code != TERMINATE for code in codes):
+        return None  # free trap escape survived (defensive; Break check covers it)
+    return (body, codes, state["sensitive"], frozenset(emitted))
+
+
+def expand_module(
+    module: A.Module,
+    modules: Optional[A.ModuleTable] = None,
+    link: bool = False,
+) -> Tuple[A.Stmt, List[Tuple[str, Optional[E.Expr]]]]:
     """Expand ``module`` to kernel form.
 
     Returns the kernel body and the list of frame variables (name, init)
     accumulated from ``var`` declarations of the module and all inlined
-    instances.
+    instances.  With ``link=True``, eligible ``run`` statements lower to
+    :class:`~repro.lang.ast.LinkedRun` nodes for sub-circuit linking.
     """
-    expander = Expander(modules)
+    expander = Expander(modules, link=link)
     body = expander.expand_module(module)
     return body, expander.frame_vars
 

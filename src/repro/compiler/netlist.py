@@ -54,6 +54,7 @@ class Net:
         "deps",
         "init",
         "expr_info",
+        "spec",
     )
 
     def __init__(
@@ -83,6 +84,27 @@ class Net:
         #: payload calls; ``None`` for custom closures (counted delays,
         #: emit/atom/exec actions)
         self.expr_info: Optional[tuple] = None
+        #: for EXPR/ACTION nets: the *relink spec* behind ``payload`` — a
+        #: plain data tuple (kind, exprs/host statements, scope snapshot,
+        #: slot numbers) from which :func:`repro.compiler.translate.build_payload`
+        #: rebuilds the closure.  Specs make payload nets relocatable
+        #: (sub-circuit linking remaps the slots and rebuilds the closure)
+        #: and make circuits picklable (plan artifacts drop the closure
+        #: and rebuild it on hydration).  ``None`` for non-payload nets.
+        self.spec: Optional[tuple] = None
+
+    def __getstate__(self) -> tuple:
+        # Payload closures cannot cross a process boundary; they are
+        # rebuilt from ``spec`` on the far side (see hydrate_plan_artifact).
+        return (
+            self.id, self.kind, self.inputs, self.label, self.loc,
+            self.deps, self.init, self.expr_info, self.spec,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.id, self.kind, self.inputs, self.label, self.loc,
+         self.deps, self.init, self.expr_info, self.spec) = state
+        self.payload = None
 
     @property
     def enable(self) -> Literal:
@@ -171,11 +193,43 @@ class ExecInfo:
 class CounterInfo:
     """Compile-time record of a counted delay's counter cell."""
 
-    __slots__ = ("slot", "loc")
+    __slots__ = ("slot", "loc", "arity")
 
-    def __init__(self, slot: int, loc=None):
+    def __init__(self, slot: int, loc=None, arity: str = ""):
         self.slot = slot
         self.loc = loc
+        #: rendered source of the count expression — part of the shape
+        #: fingerprint so counted-delay edits can't alias (see
+        #: ``compile._shape_fingerprint``)
+        self.arity = arity
+
+
+class StateSegment:
+    """One linked module instance's share of a circuit's sequential state.
+
+    ``path`` is the instance path (``/M#0``, nested ``/M#0/N#1``); the
+    spine (state owned by the top-level module body) is the implicit
+    remainder.  Registers are recorded as Net *objects* (ids may be
+    renumbered by the final sweep); signals/counters/execs as slot
+    numbers.  Versioned state migration keys state by
+    ``(segment path, stable label, occurrence)`` so program edits inside
+    one module do not shift every other module's keys.
+    """
+
+    __slots__ = ("path", "module", "registers", "signal_slots",
+                 "counter_slots", "exec_slots")
+
+    def __init__(self, path: str, module: str):
+        self.path = path
+        self.module = module
+        self.registers: List[Net] = []
+        self.signal_slots: List[int] = []
+        self.counter_slots: List[int] = []
+        self.exec_slots: List[int] = []
+
+    def __repr__(self) -> str:
+        return (f"StateSegment({self.path}, {len(self.registers)} regs, "
+                f"{len(self.signal_slots)} sigs)")
 
 
 class Circuit:
@@ -202,6 +256,18 @@ class Circuit:
         #: module `var` parameters and `let` variables with initializers:
         #: list of (frame_name, init Expr or None)
         self.frame_vars: List[Tuple[str, Any]] = []
+        #: nets the optimizer must neither alias nor sweep beyond the
+        #: always-protected tables (template ports and root wires of
+        #: sub-circuit templates; see :mod:`repro.compiler.link`)
+        self.extra_protected: List[Net] = []
+        #: state segments recorded at sub-circuit link sites: each entry
+        #: maps a linked module instance (path like ``/M#0``) to the
+        #: registers / signal / counter / exec slots it owns, giving
+        #: versioned state migration stable per-module keys (see
+        #: :mod:`repro.runtime.migrate`)
+        self.segments: List[Any] = []
+        #: causality warnings aggregated from linked sub-circuit templates
+        self.link_warnings: List[str] = []
         self._const0: Optional[Net] = None
         self._const1: Optional[Net] = None
 
@@ -290,8 +356,8 @@ class Circuit:
         self.execs.append(info)
         return info
 
-    def new_counter(self, loc=None) -> CounterInfo:
-        info = CounterInfo(len(self.counters), loc)
+    def new_counter(self, loc=None, arity: str = "") -> CounterInfo:
+        info = CounterInfo(len(self.counters), loc, arity)
         self.counters.append(info)
         return info
 

@@ -36,6 +36,8 @@ def _protected_ids(circuit: Circuit) -> Set[int]:
         net = getattr(circuit, attr)
         if net is not None:
             protected.add(net.id)
+    for net in getattr(circuit, "extra_protected", ()):
+        protected.add(net.id)
     for info in circuit.signals:
         if info.status_net is not None:
             protected.add(info.status_net.id)
@@ -75,8 +77,15 @@ class _Rewriter:
         return bool(self.map)
 
 
-def _fold_gates(circuit: Circuit, protected: Set[int]) -> _Rewriter:
-    """One round of constant folding + single-fanin aliasing."""
+def _fold_gates(circuit: Circuit, protected: Set[int],
+                aliased: Set[int] = frozenset()) -> _Rewriter:
+    """One round of constant folding + single-fanin aliasing.
+
+    ``aliased`` holds net ids bypassed in earlier rounds; they stay in
+    ``circuit.nets`` until the final sweep but are dead, so re-aliasing
+    them would make every round look like progress and the fixpoint loop
+    would always run to ``_MAX_ROUNDS``.
+    """
     rewriter = _Rewriter()
     const0 = circuit.const0().id
     const1 = circuit.const1().id
@@ -92,7 +101,7 @@ def _fold_gates(circuit: Circuit, protected: Set[int]) -> _Rewriter:
         )
 
     for net in circuit.nets:
-        if net.kind not in (AND, OR):
+        if net.kind not in (AND, OR) or net.id in aliased:
             continue
         inputs = [rewriter.resolve(li) for li in net.inputs]
         if net.kind == OR:
@@ -128,11 +137,12 @@ def _fold_gates(circuit: Circuit, protected: Set[int]) -> _Rewriter:
     return rewriter
 
 
-def _dedup_gates(circuit: Circuit, protected: Set[int]) -> _Rewriter:
+def _dedup_gates(circuit: Circuit, protected: Set[int],
+                 aliased: Set[int] = frozenset()) -> _Rewriter:
     rewriter = _Rewriter()
     table: Dict[Tuple, int] = {}
     for net in circuit.nets:
-        if net.kind not in (AND, OR) or net.id in protected:
+        if net.kind not in (AND, OR) or net.id in protected or net.id in aliased:
             continue
         key = (net.kind, tuple(sorted(net.inputs)))
         winner = table.get(key)
@@ -171,20 +181,39 @@ def _apply(circuit: Circuit, rewriter: _Rewriter, protected: Set[int]) -> None:
 
 
 def optimize_circuit(circuit: Circuit) -> Circuit:
-    """Optimize ``circuit`` in place (and return it)."""
+    """Optimize ``circuit`` in place (and return it).
+
+    A round counts as progress only when it aliased a net that no
+    earlier round had bypassed: already-bypassed gates linger in
+    ``circuit.nets`` until the final sweep, and re-deriving the same
+    aliases from them every round would defeat the fixpoint test.
+    """
     protected = _protected_ids(circuit)
+    aliased: Set[int] = set()
     for _ in range(_MAX_ROUNDS):
         changed = False
-        folds = _fold_gates(circuit, protected)
-        if folds:
-            _apply(circuit, folds, protected)
-            changed = True
-        dedups = _dedup_gates(circuit, protected)
-        if dedups:
-            _apply(circuit, dedups, protected)
-            changed = True
+        for pass_fn in (_fold_gates, _dedup_gates):
+            rewriter = pass_fn(circuit, protected, aliased)
+            if rewriter:
+                _apply(circuit, rewriter, protected)
+                fresh = set(rewriter.map) - aliased
+                if fresh:
+                    aliased |= fresh
+                    changed = True
         if not changed:
             break
+    _compact(circuit)
+    return circuit
+
+
+def compact_circuit(circuit: Circuit) -> Circuit:
+    """Run only the dead-net sweep (drop unreachable nets, renumber ids).
+
+    The sub-circuit link path uses this instead of :func:`optimize_circuit`:
+    templates are already optimized once at template build, so the final
+    linked circuit only needs the debris (template port copies, constant
+    duplicates) swept — keeping link cost O(circuit), not O(rounds ×
+    circuit)."""
     _compact(circuit)
     return circuit
 

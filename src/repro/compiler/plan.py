@@ -156,6 +156,62 @@ class EvalPlan:
         #: per-source cone sizes, for the sparse/full threshold decision
         self.cone_sizes = cone_sizes
 
+    # -- serialization ------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Closure-free state for plan artifacts.
+
+        ``payloads`` (closures over host scopes) and ``fn`` (an exec'd
+        function object) cannot be pickled; ``fn`` is rebuilt on restore
+        — from the marshalled code object when the reading interpreter
+        matches (the fast path; re-``compile()``-ing a multi-thousand
+        line straight-line source dominates cold-start otherwise), from
+        ``source`` when it does not — and ``payloads`` by :meth:`rebind`
+        once the carrying circuit's payload closures have been rebuilt
+        from their relink specs."""
+        import marshal
+
+        state = {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name not in ("payloads", "fn")
+        }
+        try:
+            state["__code__"] = marshal.dumps(self.fn.__code__)
+        except Exception:
+            pass
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        code_bytes = state.pop("__code__", None)
+        for name, value in state.items():
+            setattr(self, name, value)
+        self.payloads = ()
+        self.fn = None
+        if code_bytes is not None:
+            import marshal
+            import types
+
+            try:
+                self.fn = types.FunctionType(
+                    marshal.loads(code_bytes), {}, "__plan_react__"
+                )
+            except Exception:
+                self.fn = None
+        if self.fn is None:
+            namespace: Dict[str, Any] = {}
+            compiled = compile(self.source, f"<plan:{self.circuit.name}>", "exec")
+            exec(compiled, namespace)
+            self.fn = namespace["__plan_react__"]
+
+    def rebind(self, circuit: Circuit) -> "EvalPlan":
+        """Re-attach the plan to ``circuit`` (the same netlist, typically
+        the unpickled copy whose payloads were just rebuilt) and refresh
+        the payload table from it."""
+        self.circuit = circuit
+        self.payloads = tuple(net.payload for net in circuit.nets)
+        return self
+
     # -- selection ----------------------------------------------------------
 
     @property

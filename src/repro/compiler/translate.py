@@ -62,14 +62,128 @@ def _neg(literal: Literal) -> Literal:
     return (literal[0], not literal[1])
 
 
+# ---------------------------------------------------------------------------
+# relink specs → payload closures
+# ---------------------------------------------------------------------------
+#
+# Every EXPR/ACTION net's payload closure is described by a plain data
+# *spec* tuple stored on ``net.spec``: (kind, exprs/host statements, scope
+# snapshot {name: slot}, slot numbers).  The closure is always built from
+# the spec by :func:`build_payload`, so that
+#
+# * sub-circuit linking (:mod:`repro.compiler.link`) can relocate a
+#   template net by remapping the slots in the spec and rebuilding;
+# * plan artifacts can pickle circuits closure-free and rebuild payloads
+#   on hydration (:func:`repro.compiler.compile.hydrate_plan_artifact`).
+
+
+def build_payload(spec: tuple) -> Callable[[Any], Any]:
+    """Build the runtime payload closure described by ``spec``."""
+    kind = spec[0]
+    if kind == "expr":
+        _, expr, scope = spec
+
+        def payload(rt: Any) -> bool:
+            return E.truthy(expr.eval(rt.env_for(scope)))
+
+        return payload
+    if kind == "arm":
+        _, count_expr, scope, counter_slot = spec
+
+        def payload(rt: Any) -> None:
+            value = count_expr.eval(rt.env_for(scope))
+            rt.arm_counter(counter_slot, int(value))
+
+        return payload
+    if kind == "ctest":
+        _, guard_expr, scope, counter_slot = spec
+
+        def payload(rt: Any) -> bool:
+            if E.truthy(guard_expr.eval(rt.env_for(scope))):
+                return rt.tick_counter(counter_slot)
+            return False
+
+        return payload
+    if kind == "emitval":
+        _, value_expr, scope, sig_slot = spec
+
+        def payload(rt: Any) -> None:
+            rt.emit_value(sig_slot, value_expr.eval(rt.env_for(scope)))
+
+        return payload
+    if kind == "atom":
+        _, body, scope = spec
+
+        def payload(rt: Any) -> None:
+            env = rt.env_for(scope)
+            for host in body:
+                host.execute(env)
+
+        return payload
+    if kind == "siginit":
+        _, init_expr, scope, sig_slot = spec
+
+        def payload(rt: Any) -> None:
+            rt.init_signal(sig_slot, init_expr.eval(rt.env_for(scope)))
+
+        return payload
+    if kind == "exec_start":
+        _, exec_slot, scope = spec
+
+        def payload(rt: Any) -> None:
+            rt.start_exec(exec_slot, scope)
+
+        return payload
+    if kind in ("exec_finish", "exec_kill", "exec_susp", "exec_resume"):
+        _, exec_slot = spec
+        method = {
+            "exec_finish": "finish_exec",
+            "exec_kill": "kill_exec",
+            "exec_susp": "suspend_exec",
+            "exec_resume": "resume_exec",
+        }[kind]
+
+        def payload(rt: Any) -> None:
+            getattr(rt, method)(exec_slot)
+
+        return payload
+    raise CompileError(f"unknown payload spec kind {kind!r}")
+
+
+def _render_arity(count_expr: Any) -> str:
+    """Stable rendering of a counted delay's count expression — recorded on
+    the counter so the shape fingerprint distinguishes counted-delay
+    edits."""
+    try:
+        from repro.lang.pretty import pretty_expr
+
+        return pretty_expr(count_expr)
+    except Exception:
+        return type(count_expr).__name__
+
+
+def rebuild_payloads(circuit: Circuit) -> Circuit:
+    """Rebuild every payload closure of ``circuit`` from its net specs
+    (after unpickling a circuit from a plan artifact)."""
+    for net in circuit.nets:
+        if net.spec is not None and net.payload is None:
+            net.payload = build_payload(net.spec)
+    return circuit
+
+
 class Translator:
     """Builds the circuit for one expanded module body."""
 
-    def __init__(self, circuit: Circuit, loop_duplication: str = AUTO):
+    def __init__(self, circuit: Circuit, loop_duplication: str = AUTO,
+                 template_options: Optional[tuple] = None):
         if loop_duplication not in (AUTO, ALWAYS, NEVER):
             raise ValueError(f"bad loop duplication policy {loop_duplication!r}")
         self.circ = circuit
         self.loop_duplication = loop_duplication
+        #: (optimize, check_cycles) flags for sub-circuit template builds
+        #: triggered by ``LinkedRun`` nodes; ``None`` means default (True,
+        #: True)
+        self.template_options = template_options
         #: lexical signal scope: source name -> SignalInfo
         self.sigmap: Dict[str, SignalInfo] = {}
         #: enclosing trap labels, outermost first
@@ -79,6 +193,10 @@ class Translator:
         self._pending_reads: List[Tuple[Net, SignalInfo, bool]] = []
         #: exec incarnations per AST node uid: (start_action, kill_action)
         self._exec_incarnations: Dict[int, List[Tuple[Net, Optional[Net]]]] = {}
+        #: per-module-name sequence numbers for linked instance paths
+        self._link_seq: Dict[str, int] = {}
+        #: templates whose warnings were already aggregated into this circuit
+        self._warned_templates: set = set()
         self.FALSE = lit(self.circ.const0())
         self.TRUE = lit(self.circ.const1())
 
@@ -121,13 +239,15 @@ class Translator:
     def _snapshot(self) -> Dict[str, int]:
         return {name: info.slot for name, info in self.sigmap.items()}
 
-    def _expr_payload(self, expr: E.Expr) -> Callable[[Any], bool]:
-        scope = self._snapshot()
+    def _spec_expr_net(self, enable: Literal, spec: tuple, label: str, loc=None) -> Net:
+        net = self.circ.expr_net(enable, build_payload(spec), (), label, loc)
+        net.spec = spec
+        return net
 
-        def payload(rt: Any) -> bool:
-            return E.truthy(expr.eval(rt.env_for(scope)))
-
-        return payload
+    def _spec_action_net(self, enable: Literal, spec: tuple, label: str, loc=None) -> Net:
+        net = self.circ.action_net(enable, build_payload(spec), (), label, loc)
+        net.spec = spec
+        return net
 
     def _register_reads(self, net: Net, expr: E.Expr) -> None:
         for name, kind in expr.signal_deps():
@@ -139,11 +259,11 @@ class Translator:
             self._pending_reads.append((net, info, kind == E.NOWVAL))
 
     def _expr_net(self, enable: Literal, expr: E.Expr, label: str, loc=None) -> Net:
-        net = self.circ.expr_net(enable, self._expr_payload(expr), (), label, loc)
+        net = self._spec_expr_net(enable, ("expr", expr, self._snapshot()), label, loc)
         # Keep the expression and its scope snapshot next to the payload:
         # the word plan lowers pure-status tests (now/pre/!/&&/||) to
         # bitwise column operations, which needs the source expression.
-        net.expr_info = (expr, self._snapshot())
+        net.expr_info = (net.spec[1], net.spec[2])
         self._register_reads(net, expr)
         return net
 
@@ -161,24 +281,19 @@ class Translator:
         if delay.count is None:
             return self._expr_net(enable, delay.expr, f"{label}.test", loc)
 
-        counter = self.circ.new_counter(loc)
+        counter = self.circ.new_counter(loc, _render_arity(delay.count))
         scope = self._snapshot()
         count_expr = delay.count
         guard_expr = delay.expr
 
-        def arm(rt: Any) -> None:
-            value = count_expr.eval(rt.env_for(scope))
-            rt.arm_counter(counter.slot, int(value))
-
-        arm_net = self.circ.action_net(go, arm, (), f"{label}.arm", loc)
+        arm_net = self._spec_action_net(
+            go, ("arm", count_expr, scope, counter.slot), f"{label}.arm", loc
+        )
         self._register_reads(arm_net, count_expr)
 
-        def test(rt: Any) -> bool:
-            if E.truthy(guard_expr.eval(rt.env_for(scope))):
-                return rt.tick_counter(counter.slot)
-            return False
-
-        test_net = self.circ.expr_net(enable, test, (), f"{label}.test", loc)
+        test_net = self._spec_expr_net(
+            enable, ("ctest", guard_expr, scope, counter.slot), f"{label}.test", loc
+        )
         self._register_reads(test_net, guard_expr)
         self.circ.add_dep(test_net, arm_net)
         return test_net
@@ -223,30 +338,21 @@ class Translator:
             raise CompileError(f"unknown signal {stmt.signal!r}")
         self.circ.or_into(info.status_net, ctx.go)
         if stmt.value is not None:
-            scope = self._snapshot()
-            value_expr = stmt.value
-            slot = info.slot
-
-            def payload(rt: Any) -> None:
-                rt.emit_value(slot, value_expr.eval(rt.env_for(scope)))
-
-            action = self.circ.action_net(
-                ctx.go, payload, (), f"emit.{stmt.signal}", stmt.loc
+            action = self._spec_action_net(
+                ctx.go,
+                ("emitval", stmt.value, self._snapshot(), info.slot),
+                f"emit.{stmt.signal}",
+                stmt.loc,
             )
-            self._register_reads(action, value_expr)
+            self._register_reads(action, stmt.value)
             info.writers.append(action.id)
         return Ifc(self.FALSE, {0: ctx.go})
 
     def _tr_atom(self, stmt: A.Atom, ctx: Ctx) -> Ifc:
-        scope = self._snapshot()
-        body = list(stmt.body)
-
-        def payload(rt: Any) -> None:
-            env = rt.env_for(scope)
-            for host in body:
-                host.execute(env)
-
-        action = self.circ.action_net(ctx.go, payload, (), "atom", stmt.loc)
+        body = tuple(stmt.body)
+        action = self._spec_action_net(
+            ctx.go, ("atom", body, self._snapshot()), "atom", stmt.loc
+        )
         for host in body:
             for expr in host.exprs():
                 self._register_reads(action, expr)
@@ -301,6 +407,10 @@ class Translator:
             if isinstance(node, (A.Local, A.Exec)):
                 return True
             if isinstance(node, (A.Abort, A.Suspend)) and node.delay.count is not None:
+                return True
+            if isinstance(node, A.LinkedRun) and node.sensitive:
+                # the linked body holds incarnation-sensitive state
+                # (locals/counters/execs) even though it is opaque here
                 return True
         return False
 
@@ -432,15 +542,12 @@ class Translator:
             info = self.declare_signal(decl)
             infos.append(info)
             if decl.init is not None:
-                scope_before = self._snapshot()
                 init_expr = decl.init
-                slot = info.slot
-
-                def payload(rt: Any, _slot=slot, _expr=init_expr, _scope=scope_before):
-                    rt.init_signal(_slot, _expr.eval(rt.env_for(_scope)))
-
-                action = self.circ.action_net(
-                    ctx.go, payload, (), f"siginit.{decl.name}", decl.loc
+                action = self._spec_action_net(
+                    ctx.go,
+                    ("siginit", init_expr, self._snapshot(), info.slot),
+                    f"siginit.{decl.name}",
+                    decl.loc,
                 )
                 self._register_reads(action, init_expr)
                 info.writers.append(action.id)
@@ -487,11 +594,8 @@ class Translator:
 
         scope = self._snapshot()
 
-        def finish_payload(rt: Any) -> None:
-            rt.finish_exec(info.slot)
-
-        finish_action = self.circ.action_net(
-            done_fire, finish_payload, (), f"exec{info.slot}.finish", stmt.loc
+        finish_action = self._spec_action_net(
+            done_fire, ("exec_finish", info.slot), f"exec{info.slot}.finish", stmt.loc
         )
         if signal_info is not None:
             self.circ.or_into(signal_info.status_net, done_fire)
@@ -507,22 +611,15 @@ class Translator:
             [sel, _neg(done_fire), _neg(hold_old)], "exec.killfire", stmt.loc
         )
         if kill_fire != self.FALSE:
-
-            def kill_payload(rt: Any) -> None:
-                rt.kill_exec(info.slot)
-
-            kill_action = self.circ.action_net(
-                kill_fire, kill_payload, (), f"exec{info.slot}.kill", stmt.loc
+            kill_action = self._spec_action_net(
+                kill_fire, ("exec_kill", info.slot), f"exec{info.slot}.kill", stmt.loc
             )
             info.kill_action = kill_action
             # a completing invocation must finish before a (vacuous) kill
             self.circ.add_dep(kill_action, finish_action)
 
-        def start_payload(rt: Any) -> None:
-            rt.start_exec(info.slot, scope)
-
-        start_action = self.circ.action_net(
-            ctx.go, start_payload, (), f"exec{info.slot}.start", stmt.loc
+        start_action = self._spec_action_net(
+            ctx.go, ("exec_start", info.slot, scope), f"exec{info.slot}.start", stmt.loc
         )
         info.start_action = start_action
         if kill_action is not None:
@@ -537,22 +634,14 @@ class Translator:
 
         if stmt.on_suspend is not None or stmt.on_resume is not None:
             susp_fire = self._and([ctx.susp, sel], "exec.suspfire", stmt.loc)
-
-            def susp_payload(rt: Any) -> None:
-                rt.suspend_exec(info.slot)
-
-            info.suspend_action = self.circ.action_net(
-                susp_fire, susp_payload, (), f"exec{info.slot}.susp", stmt.loc
+            info.suspend_action = self._spec_action_net(
+                susp_fire, ("exec_susp", info.slot), f"exec{info.slot}.susp", stmt.loc
             )
             susp_reg = self.circ.register(f"exec{info.slot}.suspended", False, stmt.loc)
             self.circ.set_register_input(susp_reg, susp_fire)
             res_fire = self._and([lit(susp_reg), ctx.res, sel], "exec.resfire", stmt.loc)
-
-            def res_payload(rt: Any) -> None:
-                rt.resume_exec(info.slot)
-
-            info.resume_action = self.circ.action_net(
-                res_fire, res_payload, (), f"exec{info.slot}.resume", stmt.loc
+            info.resume_action = self._spec_action_net(
+                res_fire, ("exec_resume", info.slot), f"exec{info.slot}.resume", stmt.loc
             )
 
         k1 = self._or(
@@ -560,6 +649,11 @@ class Translator:
             "exec.k1",
         )
         return Ifc(sel, {0: done_fire, 1: k1})
+
+    def _tr_linkedrun(self, stmt: "A.LinkedRun", ctx: Ctx) -> Ifc:
+        from repro.compiler.link import link_instance
+
+        return link_instance(self, stmt, ctx)
 
     # ------------------------------------------------------------------
     # finalization
@@ -602,10 +696,15 @@ def translate_module(
     module: A.Module,
     body: A.Stmt,
     loop_duplication: str = AUTO,
+    template_options: Optional[tuple] = None,
 ) -> Circuit:
-    """Translate an expanded module body into a reactive-machine circuit."""
+    """Translate an expanded module body into a reactive-machine circuit.
+
+    ``template_options`` — (optimize, check_cycles) flags forwarded to
+    sub-circuit template builds when the body contains ``LinkedRun``
+    nodes."""
     circ = Circuit(module.name)
-    tr = Translator(circ, loop_duplication)
+    tr = Translator(circ, loop_duplication, template_options)
 
     # Boot wiring: GO is 1 at the first reaction only; RES afterwards.
     boot_reg = circ.register("boot", False)

@@ -109,6 +109,12 @@ class SnapshotError(MachineError):
     mismatch (restoring onto a structurally different program)."""
 
 
+class MigrationError(SnapshotError):
+    """A snapshot could not be migrated across program versions: the
+    descriptor does not match the snapshot's fingerprint, or the payload
+    shape disagrees with the descriptor that claims to describe it."""
+
+
 class OverloadError(MachineError):
     """A bounded :class:`~repro.runtime.ingress.Mailbox` refused an input
     under its ``reject`` policy (or an admission controller refused it at

@@ -17,7 +17,7 @@ All nodes support structural equality (for parser/pretty round-trip tests),
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
 
 from repro.errors import SourceLocation
 from repro.lang import expr as E
@@ -792,6 +792,61 @@ class Run(Stmt):
 
     def __repr__(self) -> str:
         return f"Run({self._module_key()}, bindings={self.bindings!r})"
+
+
+class LinkedRun(Stmt):
+    """A ``run M(...)`` resolved for *sub-circuit linking* instead of
+    inlining: the callee compiles once to a relocatable template circuit
+    (see :mod:`repro.compiler.link`) and each instantiation splices a
+    renumbered copy in O(interface) work.
+
+    Produced by the expander under ``CompileOptions(link=True)`` for
+    modules that qualify (no ``var`` parameters, no free trap labels, no
+    free signal names, no frame variables introduced by nested inlining).
+
+    ``bindings`` is the *total* interface map (every interface signal name
+    → caller-scope name); ``body`` is the callee's expanded kernel body in
+    callee-side names; ``codes``/``sensitive``/``emitted`` are facts
+    precomputed at expansion time so validation and reincarnation analysis
+    need not reopen the body.
+    """
+
+    KERNEL = True
+    __slots__ = ("module", "bindings", "body", "codes", "sensitive", "emitted")
+
+    def __init__(
+        self,
+        module: "Module",
+        bindings: Dict[str, str],
+        body: Stmt,
+        codes: FrozenSet,
+        sensitive: bool,
+        emitted: FrozenSet,
+        loc: Optional[SourceLocation] = None,
+    ):
+        super().__init__(loc)
+        self.module = module
+        self.bindings = dict(bindings)
+        self.body = body
+        self.codes = frozenset(codes)
+        self.sensitive = sensitive
+        self.emitted = frozenset(emitted)
+
+    # The body is callee-side: caller traversals must not descend into it
+    # (its names live in the callee's scope, not the caller's).
+
+    def rename_signals(self, mapping: Dict[str, str]) -> "Stmt":
+        bindings = {k: mapping.get(v, v) for k, v in self.bindings.items()}
+        return LinkedRun(
+            self.module, bindings, self.body, self.codes,
+            self.sensitive, self.emitted, self.loc,
+        )
+
+    def _key(self) -> tuple:
+        return (self.module.name, tuple(sorted(self.bindings.items())))
+
+    def __repr__(self) -> str:
+        return f"LinkedRun({self.module.name}, bindings={self.bindings!r})"
 
 
 class ExecContext:

@@ -110,6 +110,37 @@ class MachineFleet:
         if size:
             self.spawn_many(size)
 
+    @classmethod
+    def from_artifact(
+        cls,
+        source: Any,
+        fingerprint: Optional[str] = None,
+        **kwargs: Any,
+    ) -> "MachineFleet":
+        """Cold-start a fleet from a compiled plan artifact instead of
+        from sources.
+
+        ``source`` is either the raw bytes of a
+        :func:`~repro.compiler.compile.plan_artifact` payload, or an
+        :class:`~repro.compiler.compile.ArtifactStore` (then
+        ``fingerprint`` selects which program to load).  Hydration skips
+        the whole frontend — parse, expansion, translation, optimization
+        and plan construction — so a worker process reaches its first
+        reaction an order of magnitude sooner than a fresh compile (see
+        ``benchmarks/bench_compile.py``)."""
+        from repro.compiler.compile import hydrate_plan_artifact
+
+        if isinstance(source, (bytes, bytearray)):
+            compiled = hydrate_plan_artifact(bytes(source))
+        else:
+            if fingerprint is None:
+                raise MachineError(
+                    "from_artifact(store, ...) needs the fingerprint of "
+                    "the program to load"
+                )
+            compiled = source.load(fingerprint)
+        return cls(compiled, **kwargs)
+
     # -- membership -----------------------------------------------------
 
     def build_machine(self, **overrides: Any) -> ReactiveMachine:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import MachineError, ReactionBudgetExceeded
+from repro.errors import MachineError, MigrationError, ReactionBudgetExceeded
 from repro.runtime.journal import MemoryJournal
 from repro.runtime.machine import ReactionResult, ReactiveMachine
 
@@ -225,6 +225,61 @@ class MachineSupervisor:
         self.quarantined = False
         self.consecutive_failures = 0
         self._failure_signature = None
+
+    # -- hot program upgrade ---------------------------------------------
+
+    def upgrade(self, machine: ReactiveMachine) -> "MigrationReport":
+        """Swap the supervised machine for ``machine`` — a *fresh* (never
+        reacted) machine of an edited program version — carrying the
+        current between-instant state across the edit.
+
+        Runs at an instant boundary: the old machine's state is
+        checkpointed, mapped onto the new program with
+        :func:`~repro.runtime.migrate.migrate_snapshot` (state whose
+        segment keys survive the edit is carried byte-exactly, new state
+        boots fresh, removed state is reported), and the successor takes
+        over the journal with a fresh checkpoint.  No instant is dropped:
+        every reaction before the call ran on v1, every reaction after it
+        runs on v2, and the journal prefix the old checkpoint covered was
+        already committed.
+
+        Returns the :class:`~repro.runtime.migrate.MigrationReport`.
+        Raises :class:`~repro.errors.MigrationError` if ``machine`` has
+        already reacted (its boot snapshot must supply pristine defaults).
+        """
+        from repro.runtime.migrate import (
+            migrate_snapshot,
+            state_descriptor,
+        )
+
+        if machine.reaction_count != 0:
+            raise MigrationError(
+                f"upgrade target {machine.name!r} has already run "
+                f"{machine.reaction_count} instants; pass a fresh machine"
+            )
+        snap = self.checkpoint()
+        desc_from = state_descriptor(self.machine.compiled)
+        desc_to = state_descriptor(machine.compiled)
+        boot = machine.snapshot()
+        # Boot-probe a scratch machine so instances new in v2 are seeded
+        # with post-boot state and start reacting at the next instant
+        # (a branch grafted into a running parallel can never re-receive
+        # the boot pulse the old program already consumed).
+        probe = ReactiveMachine(machine.compiled)
+        probe.react({})
+        migrated, report = migrate_snapshot(
+            snap, desc_from, desc_to, boot, probe.snapshot()
+        )
+        self.machine.attach_journal(None)
+        machine.restore(migrated)
+        machine.attach_journal(self.journal)
+        self.machine = machine
+        self.quarantined = False
+        self.consecutive_failures = 0
+        self._failure_signature = None
+        self.checkpoint()
+        self.stats["upgrades"] = self.stats.get("upgrades", 0) + 1
+        return report
 
     def __repr__(self) -> str:
         state = "quarantined" if self.quarantined else "healthy"

@@ -641,6 +641,117 @@ class ShardManager:
         self.stats["restarts"] += 1
         return replacement_id
 
+    # -- rolling program upgrade -----------------------------------------
+
+    def upgrade_program(
+        self,
+        module: Any,
+        modules: Optional[A.ModuleTable] = None,
+        options: Optional[CompileOptions] = None,
+    ) -> Dict[str, Any]:
+        """Zero-downtime rolling upgrade of the whole sharded fleet to an
+        edited program.
+
+        For each live worker: start a replacement running the new
+        program's artifact, then for every member the old worker hosts —
+        extract it between instants (draining its mailbox), map its
+        snapshot onto the new program with
+        :func:`~repro.runtime.migrate.migrate_snapshot` (state whose
+        segment keys survive the edit carries byte-exactly; new state
+        boots fresh; removed state is dropped and reported), and adopt it
+        on the replacement, re-enqueueing the drained backlog with input
+        signals the new interface no longer declares filtered out.  The
+        emptied old worker is then shut down.
+
+        No instant is dropped and no host effect is duplicated: every
+        member's last v1 instant committed before its extract, and its
+        first v2 instant runs after its adopt.
+
+        Returns ``{"fingerprint", "workers", "reports"}`` — the new
+        program fingerprint, the replacement worker ids, and a per-member
+        :class:`~repro.runtime.migrate.MigrationReport`.
+        """
+        from repro.compiler.compile import compile_cached
+        from repro.lang.signals import OUT
+        from repro.runtime.machine import ReactiveMachine
+        from repro.runtime.migrate import migrate_snapshot, state_descriptor
+
+        old_compiled = compile_cached(self._module, self._modules, self._options)
+        new_compiled = compile_cached(module, modules, options)
+        desc_from = state_descriptor(old_compiled)
+        desc_to = state_descriptor(new_compiled)
+        boot = ReactiveMachine(new_compiled).snapshot()
+        # Post-boot probe: instances new in v2 are seeded with the state
+        # a fresh machine has after its boot instant, so branches grafted
+        # into a running parallel start reacting at the next instant.
+        probe = ReactiveMachine(new_compiled)
+        probe.react({})
+        started = probe.snapshot()
+        input_names = {
+            name
+            for name, info in new_compiled.circuit.interface.items()
+            if info.direction != OUT
+        }
+
+        self._module = module
+        self._modules = modules
+        self._options = options
+        try:
+            self._artifact = plan_artifact(module, modules, options)
+        except ShardError:
+            self._artifact = None
+        self.fingerprint = new_compiled.fingerprint
+
+        reports: Dict[int, Any] = {}
+        replacements: List[int] = []
+        for old in list(self.live_workers()):
+            replacement_id = self.add_worker()
+            replacements.append(replacement_id)
+            dst = self._worker_by_id(replacement_id)
+            for gid in sorted(old.members):
+                shipped = self._request(old, {"op": "extract", "gid": gid})
+                old.members.discard(gid)
+                self.placement.pop(gid, None)
+                migrated, report = migrate_snapshot(
+                    shipped["snapshot"], desc_from, desc_to, boot, started
+                )
+                n_execs = len(new_compiled.circuit.execs)
+                tail = []
+                for entry in shipped["tail"]:
+                    entry = dict(entry)
+                    entry["inputs"] = {
+                        name: value
+                        for name, value in entry.get("inputs", {}).items()
+                        if name in input_names
+                    }
+                    # exec completions are positional; drop any aimed at
+                    # slots the new program no longer has
+                    entry["execs"] = [
+                        pair for pair in entry.get("execs", [])
+                        if pair[0] < n_execs
+                    ]
+                    tail.append(entry)
+                pending = [
+                    {k: v for k, v in item.items() if k in input_names}
+                    for item in shipped["pending"]
+                ]
+                value = self._request(
+                    dst,
+                    {"op": "adopt", "gid": gid, "snapshot": migrated,
+                     "committed": [], "tail": tail, "pending": pending},
+                )
+                self.placement[gid] = dst
+                dst.members.add(gid)
+                self._reactions[gid] = value["reaction_count"]
+                reports[gid] = report
+            self.shutdown_worker(old.id)
+        self.stats["upgrades"] = self.stats.get("upgrades", 0) + 1
+        return {
+            "fingerprint": self.fingerprint,
+            "workers": replacements,
+            "reports": reports,
+        }
+
     def rebalance(self) -> List[int]:
         """Even out member counts across live workers via live
         migrations; returns the moved gids."""

@@ -225,6 +225,12 @@ class ShardWorker:
         import json
 
         for name in self.config.effect_signals:
+            # Effect signals are fleet-level config spanning program
+            # versions: a hot upgrade may add or remove outputs, so names
+            # the program running here does not declare are skipped, not
+            # errors.
+            if name not in machine.compiled.circuit.interface:
+                continue
 
             def listener(value: Any, _gid: int = gid, _m: Any = machine, _name: str = name) -> None:
                 self._effects_fh.write(
