@@ -399,6 +399,29 @@ def s1():
     print(f"  wrote {bench_shard.BENCH_JSON.name}")
 
 
+def g1():
+    print("\nG1 - network edge (WebSocket gateway chaos reconnect storm)")
+    import bench_gateway
+
+    if PROFILE["fleet_size"] < FULL["fleet_size"]:
+        bench_gateway.PROFILE.update(bench_gateway.QUICK)
+    bench_gateway.test_gateway_storm_gates()
+    data = json.loads(bench_gateway.BENCH_JSON.read_text())
+    unloaded, clean, storm = data["unloaded"], data["clean"], data["storm"]
+    print(f"  unloaded: p50 {unloaded['p50_ms']:.3f} ms, "
+          f"p99 {unloaded['p99_ms']:.3f} ms")
+    print(f"  clean ({clean['clients']} clients): {clean['events']} events "
+          f"at {clean['events_per_s']}/s, p99 {clean['p99_ms']:.2f} ms")
+    print(f"  storm: {storm['reconnects']} reconnects, "
+          f"{storm['retransmits']} retransmits, {storm['resumed_replay']} "
+          f"replays, {storm['snapshots']} snapshots; lost diffs "
+          f"{storm['lost_diffs']}, double-applied {storm['double_applied']}, "
+          f"digest parity {storm['digest_parity']}")
+    print(f"  p99 {storm['p99_ms']:.2f} ms = {storm['ratio']:.2f}x clean "
+          f"p99 (gate {storm['gate']:.0f}x)")
+    print(f"  wrote {bench_gateway.BENCH_JSON.name}")
+
+
 def a1():
     print("\nA1 - optimizer ablation (nets raw -> optimized)")
     from repro.apps.login import login_table
@@ -433,4 +456,5 @@ if __name__ == "__main__":
     r2()
     o1()
     s1()
+    g1()
     a1()

@@ -15,12 +15,25 @@ Participant module sharing one compiled plan through a ``MachineFleet``)
 driven against the conductor score.
 
     python examples/skini_concert.py --fleet
+
+With ``--serve HOST:PORT``, runs the concert as a live WebSocket
+deployment: an asyncio :class:`~repro.runtime.gateway.Gateway` maps each
+connected smartphone to its own Participant machine, with session
+resumption, admission control, and ``/healthz`` / ``/statsz``
+endpoints.  ``--selftest`` smoke-tests that path end to end over a real
+TCP socket (connect, drive, drop, resume) and exits.
+
+    python examples/skini_concert.py --serve 127.0.0.1:8137
+    python examples/skini_concert.py --selftest
 """
 
+import asyncio
 import random
 import sys
 import time
 
+from repro import Gateway, GatewayClient
+from repro.runtime.gateway import tcp_connector
 from repro.apps.skini import (
     Audience,
     Performance,
@@ -132,8 +145,103 @@ def fleet_concert(members: int = 1000) -> None:
               f"(demotions: {lockstep['demotions']})")
 
 
+def serve_concert(spec: str, members: int = 64) -> None:
+    """Serve the audience fleet over WebSockets until interrupted."""
+    host, _, port_text = spec.rpartition(":")
+    host = host or "127.0.0.1"
+
+    async def main() -> None:
+        fleet = make_audience_fleet(members)
+        gw = Gateway(fleet.ingress(capacity=64), name="concert")
+        server = await gw.serve(host, int(port_text))
+        bound_host, bound_port = server.sockets[0].getsockname()[:2]
+        print(f"=== Skini concert gateway on ws://{bound_host}:{bound_port}/ws "
+              + "=" * 12)
+        print(f"  {members} participant machines behind admission control")
+        print(f"  health:  http://{bound_host}:{bound_port}/healthz")
+        print(f"  stats:   http://{bound_host}:{bound_port}/statsz")
+        print("  Ctrl-C to stop")
+        try:
+            async with server:
+                await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await gw.aclose()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\n  curtain.")
+
+
+def selftest() -> None:
+    """Smoke the network edge over a real TCP socket: connect, drive,
+    drop the connection mid-session, resume, and verify the views."""
+
+    async def main() -> None:
+        fleet = make_audience_fleet(8)
+        gw = Gateway(fleet.ingress(capacity=64), name="selftest")
+        server = await gw.serve("127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        print(f"=== Gateway selftest on 127.0.0.1:{port} " + "=" * 24)
+
+        client = GatewayClient(
+            tcp_connector("127.0.0.1", port), seed=1, name="smoke"
+        )
+        await client.connect()
+        for pick in (1, 2, 3):
+            decision = await client.send_event({"select": pick})
+            assert decision in ("admitted", "coalesced"), decision
+        assert await gw.drain()
+        await client.sync()
+        session = gw.sessions[client.sid]
+        assert client.view == session.view
+        print(f"  3 events admitted, view in sync: {client.view}")
+
+        # survive a dropped connection: reconnect + resume, no losses
+        client.drop_connection()
+        decision = await client.send_event({"grant": 3})
+        assert decision in ("admitted", "coalesced"), decision
+        assert await gw.drain()
+        await client.sync()
+        assert client.stats["reconnects"] >= 1
+        assert client.view == session.view
+        assert session.applied_count == 4
+        print(f"  dropped + resumed (reconnects={client.stats['reconnects']}, "
+              f"resumes={client.stats['resumes']}), view still in sync")
+
+        # the operational endpoints answer over the same port
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        await writer.drain()
+        head = await reader.read(4096)
+        assert b"200" in head.split(b"\r\n", 1)[0]
+        assert b'"status"' in head
+        writer.close()
+        print("  /healthz answers 200 over the same port")
+
+        await client.close()
+        server.close()
+        await server.wait_closed()
+        await gw.aclose()
+        print("  selftest ok")
+
+    asyncio.run(main())
+
+
 if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--selftest" in argv:
+        selftest()
+        sys.exit(0)
+    if "--serve" in argv:
+        index = argv.index("--serve")
+        if index + 1 >= len(argv):
+            sys.exit("usage: skini_concert.py --serve HOST:PORT")
+        serve_concert(argv[index + 1])
+        sys.exit(0)
     paper_concert()
     classical_scale()
-    if "--fleet" in sys.argv[1:]:
+    if "--fleet" in argv:
         fleet_concert()

@@ -53,6 +53,8 @@ from repro.runtime import (
     FileJournal,
     FleetIngress,
     FleetSupervisor,
+    Gateway,
+    GatewayClient,
     MachineFleet,
     MachineSupervisor,
     Mailbox,
@@ -72,6 +74,8 @@ __all__ = [
     "ReactionResult",
     "MachineFleet",
     "FleetIngress",
+    "Gateway",
+    "GatewayClient",
     "Mailbox",
     "TokenBucket",
     "MachineSupervisor",

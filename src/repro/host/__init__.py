@@ -20,6 +20,7 @@ from repro.host.resilience import (
     with_timeout,
 )
 from repro.host.chaos import ChaosLoop, LoadGenerator, MachineCrasher, WorkerCrasher
+from repro.host.netchaos import ChaosTransport, MemoryEndpoint, memory_pipe
 
 __all__ = [
     "SimulatedLoop",
@@ -28,6 +29,9 @@ __all__ = [
     "MachineCrasher",
     "WorkerCrasher",
     "LoadGenerator",
+    "ChaosTransport",
+    "MemoryEndpoint",
+    "memory_pipe",
     "AuthService",
     "FlakyService",
     "ServiceResponse",

@@ -1,6 +1,7 @@
 """Runtime: the reactive machine and its constructive circuit simulator."""
 
 from repro.runtime.fleet import FleetIngress, MachineFleet
+from repro.runtime.gateway import Gateway, GatewayClient, Session, tcp_connector
 from repro.runtime.ingress import LatencyEwma, Mailbox, TokenBucket, merge_inputs
 from repro.runtime.journal import (
     FileJournal,
@@ -16,6 +17,10 @@ from repro.runtime.worker import ShardWorker, WorkerConfig
 __all__ = [
     "MachineFleet",
     "FleetIngress",
+    "Gateway",
+    "GatewayClient",
+    "Session",
+    "tcp_connector",
     "ReactiveMachine",
     "ReactionResult",
     "Mailbox",

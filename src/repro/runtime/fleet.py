@@ -450,11 +450,18 @@ class FleetIngress:
         ewma_alpha: float = 0.2,
         budget: Optional[Any] = None,
         coalesce_on_pump: bool = True,
+        on_instant: Optional[Callable[[int, Dict[str, Any]], None]] = None,
     ):
         self.fleet = fleet
         self.supervisor = supervisor
         self.budget = budget
         self.coalesce_on_pump = coalesce_on_pump
+        #: observation hook called with ``(member, inputs)`` for every
+        #: instant actually applied by the pump — *post* mailbox
+        #: coalescing, so replaying the recorded instants into a fresh
+        #: fleet reproduces member state exactly (the digest-parity
+        #: oracle of the gateway chaos tests rides on this)
+        self.on_instant = on_instant
         self._capacity = capacity
         self._policy = policy
         #: member indices removed from routing (shard migration sources);
@@ -621,6 +628,8 @@ class FleetIngress:
             try:
                 results[index] = self._react_member(index, inputs)
                 self.stats_counters["pumped"] += 1
+                if self.on_instant is not None:
+                    self.on_instant(index, inputs)
             except Exception as err:
                 failures[index] = err
                 self.stats_counters["pump_failures"] += 1

@@ -1,0 +1,312 @@
+"""Minimal RFC 6455 WebSocket framing and upgrade handshake (sans-I/O).
+
+The network edge (:mod:`repro.runtime.gateway`) speaks WebSocket to its
+clients but must not grow a hard dependency for it: this module is the
+complete wire layer, implemented over plain bytes with **no** I/O of its
+own, so the same code serves real asyncio TCP streams, the in-memory
+duplex pipes of :mod:`repro.host.netchaos`, and any chaos-wrapped
+transport in between.
+
+Scope — exactly what the gateway needs, nothing more:
+
+* :func:`encode_frame` / :class:`FrameAssembler` — framing both ways,
+  including 16/64-bit extended lengths, client-side masking, fragmented
+  data messages (reassembled), and interleaved control frames;
+* :func:`handshake_request` / :func:`handshake_accept` /
+  :func:`accept_key` — the HTTP/1.1 upgrade in both roles;
+* :func:`read_http_head` — the only I/O-adjacent helper: drains a
+  reader up to the blank line *without over-reading* (the first
+  WebSocket frame often arrives in the same TCP segment as the
+  handshake; the leftover bytes are returned for the frame assembler).
+
+Anything outside the accepted subset raises :class:`ProtocolError`; the
+gateway treats that as a broken connection, never as a crash.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+#: RFC 6455 §1.3 — the fixed GUID appended to the client key before SHA-1.
+GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+CONTROL_OPS = frozenset((OP_CLOSE, OP_PING, OP_PONG))
+DATA_OPS = frozenset((OP_TEXT, OP_BINARY))
+
+#: refuse absurd frames before allocating for them (a corrupted length
+#: header must not look like a 2**60-byte allocation request)
+MAX_PAYLOAD = 1 << 23
+
+
+class ProtocolError(Exception):
+    """The peer sent bytes outside the accepted WebSocket/HTTP subset."""
+
+
+class Frame:
+    """One decoded WebSocket frame (or reassembled data message)."""
+
+    __slots__ = ("opcode", "payload", "fin")
+
+    def __init__(self, opcode: int, payload: bytes, fin: bool = True):
+        self.opcode = opcode
+        self.payload = payload
+        self.fin = fin
+
+    def __repr__(self) -> str:
+        return f"Frame(op={self.opcode:#x}, {len(self.payload)} bytes)"
+
+
+def _apply_mask(data: bytes, key: bytes) -> bytes:
+    """XOR ``data`` with the repeating 4-byte ``key`` (mask and unmask
+    are the same operation).  One big-int XOR instead of a Python loop —
+    ~50x faster on kilobyte frames."""
+    if not data:
+        return data
+    repeated = key * ((len(data) + 3) // 4)
+    return (
+        int.from_bytes(data, "little")
+        ^ int.from_bytes(repeated[: len(data)], "little")
+    ).to_bytes(len(data), "little")
+
+
+def encode_frame(
+    opcode: int,
+    payload: bytes = b"",
+    mask: bool = False,
+    fin: bool = True,
+) -> bytes:
+    """Encode one frame.  Clients MUST mask (RFC 6455 §5.3); servers MUST
+    NOT — the caller picks via ``mask``."""
+    head = bytearray()
+    head.append((0x80 if fin else 0x00) | (opcode & 0x0F))
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < (1 << 16):
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", length)
+    if mask:
+        key = os.urandom(4)
+        return bytes(head) + key + _apply_mask(payload, key)
+    return bytes(head) + payload
+
+
+def encode_text(text: str, mask: bool = False) -> bytes:
+    return encode_frame(OP_TEXT, text.encode("utf-8"), mask=mask)
+
+
+def encode_close(code: int = 1000, reason: str = "", mask: bool = False) -> bytes:
+    payload = struct.pack("!H", code) + reason.encode("utf-8")
+    return encode_frame(OP_CLOSE, payload, mask=mask)
+
+
+def parse_close(payload: bytes) -> Tuple[int, str]:
+    """Decode a close frame payload into ``(code, reason)`` (1005 — "no
+    status received" — when the payload is empty, per RFC 6455 §7.1.5)."""
+    if len(payload) < 2:
+        return 1005, ""
+    (code,) = struct.unpack("!H", payload[:2])
+    return code, payload[2:].decode("utf-8", "replace")
+
+
+class FrameAssembler:
+    """Incremental frame decoder: feed arbitrary byte chunks, get back
+    complete messages.
+
+    Fragmented data messages (TEXT/BINARY continued by CONT frames) are
+    reassembled and delivered as one :class:`Frame` with the original
+    opcode; control frames — which may interleave with a fragmented
+    message — are delivered as they complete.  Partial frames stay
+    buffered across :meth:`feed` calls, which is what makes the chaos
+    transports' split writes exercise real mid-frame states.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._message: Optional[Tuple[int, bytearray]] = None
+
+    def feed(self, data: bytes) -> List[Frame]:
+        self._buffer += data
+        out: List[Frame] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return out
+            opcode, payload, fin = frame
+            if opcode in CONTROL_OPS:
+                if not fin:
+                    raise ProtocolError("fragmented control frame")
+                out.append(Frame(opcode, payload))
+            elif opcode in DATA_OPS:
+                if self._message is not None:
+                    raise ProtocolError(
+                        "new data message started inside a fragmented one"
+                    )
+                if fin:
+                    out.append(Frame(opcode, payload))
+                else:
+                    self._message = (opcode, bytearray(payload))
+            elif opcode == OP_CONT:
+                if self._message is None:
+                    raise ProtocolError("continuation frame without a message")
+                first_op, parts = self._message
+                parts += payload
+                if fin:
+                    self._message = None
+                    out.append(Frame(first_op, bytes(parts)))
+            else:
+                raise ProtocolError(f"reserved opcode {opcode:#x}")
+
+    def _next_frame(self) -> Optional[Tuple[int, bytes, bool]]:
+        buf = self._buffer
+        if len(buf) < 2:
+            return None
+        b1, b2 = buf[0], buf[1]
+        if b1 & 0x70:
+            raise ProtocolError("RSV bits set without a negotiated extension")
+        fin = bool(b1 & 0x80)
+        opcode = b1 & 0x0F
+        masked = bool(b2 & 0x80)
+        length = b2 & 0x7F
+        offset = 2
+        if length == 126:
+            if len(buf) < 4:
+                return None
+            (length,) = struct.unpack_from("!H", buf, 2)
+            offset = 4
+        elif length == 127:
+            if len(buf) < 10:
+                return None
+            (length,) = struct.unpack_from("!Q", buf, 2)
+            offset = 10
+        if length > MAX_PAYLOAD:
+            raise ProtocolError(f"frame of {length} bytes exceeds {MAX_PAYLOAD}")
+        key = b""
+        if masked:
+            if len(buf) < offset + 4:
+                return None
+            key = bytes(buf[offset : offset + 4])
+            offset += 4
+        if len(buf) < offset + length:
+            return None
+        payload = bytes(buf[offset : offset + length])
+        del buf[: offset + length]
+        if masked:
+            payload = _apply_mask(payload, key)
+        return opcode, payload, fin
+
+
+# ---------------------------------------------------------------------------
+# the HTTP/1.1 upgrade handshake
+# ---------------------------------------------------------------------------
+
+
+def accept_key(key: str) -> str:
+    """``Sec-WebSocket-Accept`` for a client ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((key + GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def handshake_request(
+    host: str, path: str = "/ws", key: Optional[str] = None
+) -> Tuple[bytes, str]:
+    """The client's upgrade request; returns ``(bytes, key)`` so the
+    caller can verify the echoed accept header."""
+    if key is None:
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+    request = (
+        f"GET {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Upgrade: websocket\r\n"
+        f"Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Key: {key}\r\n"
+        f"Sec-WebSocket-Version: 13\r\n"
+        f"\r\n"
+    )
+    return request.encode("ascii"), key
+
+
+def handshake_accept(key: str) -> bytes:
+    """The server's 101 response for a validated upgrade request."""
+    return (
+        f"HTTP/1.1 101 Switching Protocols\r\n"
+        f"Upgrade: websocket\r\n"
+        f"Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {accept_key(key)}\r\n"
+        f"\r\n"
+    ).encode("ascii")
+
+
+def http_response(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    reason: str = "",
+) -> bytes:
+    """A plain (non-upgrade) HTTP/1.1 response — the gateway's
+    ``/healthz`` / ``/statsz`` endpoints and its error replies."""
+    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+               426: "Upgrade Required", 429: "Too Many Requests",
+               503: "Service Unavailable"}
+    text = reason or reasons.get(status, "Response")
+    head = (
+        f"HTTP/1.1 {status} {text}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def parse_http_head(head: bytes) -> Tuple[str, Dict[str, str]]:
+    """Split an HTTP head (request or response, up to but excluding the
+    blank line) into its start line and a lower-cased header dict."""
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+    except UnicodeDecodeError as err:  # pragma: no cover - latin-1 total
+        raise ProtocolError(f"undecodable HTTP head: {err}") from None
+    if not lines or not lines[0]:
+        raise ProtocolError("empty HTTP head")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed HTTP header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return lines[0], headers
+
+
+async def read_http_head(reader: Any, limit: int = 65536) -> Tuple[bytes, bytes]:
+    """Read from ``reader`` (anything with ``async read(n)``) until the
+    end of the HTTP head; returns ``(head, leftover)`` where ``leftover``
+    is whatever arrived past the blank line (e.g. an eagerly-sent first
+    WebSocket frame) — feed it to the :class:`FrameAssembler`."""
+    buf = bytearray()
+    while True:
+        end = buf.find(b"\r\n\r\n")
+        if end >= 0:
+            return bytes(buf[:end]), bytes(buf[end + 4:])
+        if len(buf) > limit:
+            raise ProtocolError(f"HTTP head exceeds {limit} bytes")
+        chunk = await reader.read(8192)
+        if not chunk:
+            raise ProtocolError("connection closed inside the HTTP head")
+        buf += chunk
