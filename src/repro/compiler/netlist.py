@@ -424,3 +424,34 @@ class Circuit:
 
     def __repr__(self) -> str:
         return f"Circuit({self.name}, {len(self.nets)} nets)"
+
+
+#: how many unresolved nets a :class:`~repro.errors.CausalityError`
+#: message names before eliding the rest
+CAUSALITY_REPORT_LIMIT = 12
+
+
+def causality_error(circuit: "Circuit", values: List[Optional[bool]]):
+    """Build the one normalized :class:`~repro.errors.CausalityError` every
+    reaction backend raises for a synchronous deadlock.
+
+    The unresolved set is collected in *net-id order* (never in scheduler
+    iteration order) and the elision past ``CAUSALITY_REPORT_LIMIT`` is
+    marked explicitly, so the message — and the ``nets`` attribute — is
+    byte-identical whichever backend (worklist, levelized, sparse, or the
+    lockstep word engine's scalar fallback) detected the deadlock.
+    """
+    from repro.errors import CausalityError
+
+    unresolved = sorted(
+        (net for net in circuit.nets if values[net.id] is None),
+        key=lambda net: net.id,
+    )
+    nets = [net.describe() for net in unresolved[:CAUSALITY_REPORT_LIMIT]]
+    if len(unresolved) > CAUSALITY_REPORT_LIMIT:
+        nets.append(f"... and {len(unresolved) - CAUSALITY_REPORT_LIMIT} more")
+    return CausalityError(
+        f"synchronous deadlock in {circuit.name}: the reaction "
+        f"left {len(unresolved)} net(s) undefined (causality cycle)",
+        nets,
+    )

@@ -1,0 +1,5 @@
+import sys
+
+from repro.fuzz.cli import main
+
+sys.exit(main())

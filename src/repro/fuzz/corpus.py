@@ -1,0 +1,91 @@
+"""Corpus persistence: minimized fuzz failures as self-contained JSON
+repros under ``tests/corpus/``.
+
+Each entry stores the *pretty-printed sources* of the program (workers
+first, main last) plus the lifecycle plan — nothing else is needed to
+re-run the case, because the generator guarantees every program is
+parser round-trippable and the v2 upgrade target is a deterministic
+function of the v1 main module.  Tier-1 (``tests/test_fuzz.py``)
+replays every entry on every run, so a fixed divergence can never
+silently regress.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Tuple
+
+from repro.syntax.parser import parse_program
+
+from repro.fuzz.gen import FuzzProgram
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "entry_for",
+    "save_entry",
+    "load_entry",
+    "load_corpus_case",
+    "corpus_files",
+]
+
+CORPUS_FORMAT = 1
+
+
+def entry_for(
+    program: FuzzProgram,
+    plan: Dict[str, Any],
+    seed: Any = None,
+    reason: str = "",
+) -> Dict[str, Any]:
+    return {
+        "format": CORPUS_FORMAT,
+        "seed": seed,
+        "reason": reason,
+        "pure": program.pure,
+        "sources": program.sources(),
+        "plan": {
+            "capacity": plan["capacity"],
+            "policy": plan["policy"],
+            "ops": plan["ops"],
+        },
+    }
+
+
+def save_entry(path: str, entry: Dict[str, Any]) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_entry(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        entry = json.load(fh)
+    if entry.get("format") != CORPUS_FORMAT:
+        raise ValueError(
+            f"{path}: corpus format {entry.get('format')!r} is not "
+            f"{CORPUS_FORMAT}"
+        )
+    return entry
+
+
+def load_corpus_case(path: str) -> Tuple[FuzzProgram, Dict[str, Any]]:
+    """Rebuild the (program, plan) a corpus entry describes."""
+    entry = load_entry(path)
+    source = "\n\n".join(entry["sources"])
+    modules = list(parse_program(source, filename=path))
+    program = FuzzProgram(modules, bool(entry["pure"]))
+    return program, entry["plan"]
+
+
+def corpus_files(directory: str) -> List[str]:
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )

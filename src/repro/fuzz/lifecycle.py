@@ -1,0 +1,118 @@
+"""Lifecycle-plan generation: the op script a fuzz case drives every
+backend configuration through.
+
+A *plan* is plain JSON data — ``{"capacity", "policy", "ops"}`` — so it
+serializes into corpus entries unchanged.  Each op is a list whose first
+element names the action:
+
+``["react", inputs]``
+    one ordinary reaction with the given input map;
+``["budget_react", inputs, budget]``
+    the same reaction first attempted under a tiny net-evaluation
+    budget; on :class:`~repro.errors.ReactionBudgetExceeded` the driver
+    rolls the machine back (snapshot + journal rewind) and redoes the
+    instant unbudgeted — exercising the abort/rollback path while still
+    converging to a comparable state;
+``["offer", inputs]`` / ``["pump", max_instants]``
+    mailbox admission under the plan's capacity/shedding policy, and
+    draining admitted instants;
+``["snapshot_roundtrip"]``
+    snapshot → JSON round trip → restore onto a fresh machine → assert
+    the re-snapshot is byte-identical;
+``["checkpoint"]`` / ``["journal_replay"]``
+    supervisor checkpoint, and a cold rebuild (restore last checkpoint,
+    replay the journal tail) compared against the live machine;
+``["crash_between", inputs]`` / ``["crash_mid", after_calls, inputs]``
+    a :class:`~repro.host.chaos.MachineCrasher` kill at the instant
+    boundary / mid-instant, recovered by the supervisor's
+    rollback-and-retry;
+``["upgrade"]``
+    hot-swap to the deterministically mutated v2 program via
+    :meth:`MachineSupervisor.upgrade`.
+
+Input maps are drawn over the program's input names: pure signals carry
+``True`` (presence), the valued input carries a small int.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from repro.runtime.ingress import POLICIES
+
+from repro.fuzz.gen import VALUED_INPUT
+
+__all__ = ["generate_plan", "plan_ops"]
+
+#: ops and their relative weights in the generated script
+_OP_WEIGHTS = [
+    ("react", 40),
+    ("offer", 10),
+    ("pump", 8),
+    ("snapshot_roundtrip", 8),
+    ("crash_between", 6),
+    ("crash_mid", 6),
+    ("journal_replay", 5),
+    ("checkpoint", 4),
+    ("budget_react", 5),
+]
+
+
+def _inputs(rng: random.Random, names: List[str]) -> Dict[str, Any]:
+    chosen: Dict[str, Any] = {}
+    for name in names:
+        if rng.random() < 0.45:
+            chosen[name] = rng.randint(0, 9) if name == VALUED_INPUT else True
+    return chosen
+
+
+def _one_op(rng: random.Random, names: List[str]) -> List[Any]:
+    total = sum(weight for _, weight in _OP_WEIGHTS)
+    roll = rng.randrange(total)
+    for kind, weight in _OP_WEIGHTS:
+        roll -= weight
+        if roll < 0:
+            break
+    if kind == "react":
+        return ["react", _inputs(rng, names)]
+    if kind == "offer":
+        return ["offer", _inputs(rng, names)]
+    if kind == "pump":
+        return ["pump", rng.randint(1, 4)]
+    if kind == "snapshot_roundtrip":
+        return ["snapshot_roundtrip"]
+    if kind == "crash_between":
+        return ["crash_between", _inputs(rng, names)]
+    if kind == "crash_mid":
+        return ["crash_mid", rng.randint(1, 6), _inputs(rng, names)]
+    if kind == "journal_replay":
+        return ["journal_replay"]
+    if kind == "checkpoint":
+        return ["checkpoint"]
+    if kind == "budget_react":
+        return ["budget_react", _inputs(rng, names), rng.randint(1, 8)]
+    raise AssertionError(kind)
+
+
+def generate_plan(seed: int, input_names: List[str]) -> Dict[str, Any]:
+    """The lifecycle plan for ``seed`` over the given input names."""
+    rng = random.Random(f"plan:{seed}")
+    ops = [_one_op(rng, input_names) for _ in range(rng.randint(4, 12))]
+    if not any(op[0] == "react" for op in ops):
+        ops.insert(0, ["react", _inputs(rng, input_names)])
+    if rng.random() < 0.3:
+        # hot upgrade somewhere past the first op, always followed by a
+        # reaction so the migrated state is actually driven
+        where = rng.randint(1, len(ops))
+        ops.insert(where, ["upgrade"])
+        ops.insert(where + 1, ["react", _inputs(rng, input_names)])
+    return {
+        "capacity": rng.randint(1, 3),
+        "policy": rng.choice(POLICIES),
+        "ops": ops,
+    }
+
+
+def plan_ops(plan: Dict[str, Any]) -> List[List[Any]]:
+    return list(plan["ops"])

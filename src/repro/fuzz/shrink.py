@@ -1,0 +1,262 @@
+"""Deterministic delta-debugging shrinker for fuzz cases.
+
+Given a failing (program, plan) and a predicate ("does it still fail"),
+the shrinker minimizes three things, in order:
+
+1. the lifecycle op script, by classic ddmin (drop chunks, halve chunk
+   size on a fixed pass);
+2. the program body, by a structural fixpoint: repeatedly try replacing
+   each node with ``nothing`` or with one of its own children (unwrap),
+   dropping ``seq``/``par`` arms, and removing now-unreferenced worker
+   modules — keeping any rewrite under which the case still fails;
+3. op payloads, by dropping input-map keys one at a time.
+
+Candidates that no longer even compile are simply rejected by the
+predicate wrapper (the failure must be *the same kind of* failure —
+a validation error is not a repro).  Everything is deterministic: the
+same failing case always shrinks to the same minimal repro, which the
+corpus stores and tier-1 replays forever.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.lang import ast as A
+
+from repro.fuzz.gen import FuzzProgram
+
+__all__ = ["shrink_case", "ShrinkBudget"]
+
+
+class ShrinkBudget:
+    """Bounds the number of predicate evaluations (each one re-runs the
+    whole differential harness)."""
+
+    def __init__(self, checks: int = 400):
+        self.remaining = checks
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+# ---------------------------------------------------------------------------
+# structural statement rewrites
+# ---------------------------------------------------------------------------
+
+
+def _children(stmt: A.Stmt) -> List[A.Stmt]:
+    if isinstance(stmt, A.Seq):
+        return list(stmt.items)
+    if isinstance(stmt, A.Par):
+        return list(stmt.branches)
+    if isinstance(stmt, A.If):
+        return [stmt.then, stmt.orelse]
+    if isinstance(stmt, (A.Abort, A.WeakAbort, A.Suspend, A.Every, A.Loop)):
+        return [stmt.body]
+    if isinstance(stmt, (A.DoEvery, A.Trap, A.Local)):
+        return [stmt.body]
+    return []
+
+
+def _rebuild(stmt: A.Stmt, index: int, child: A.Stmt) -> A.Stmt:
+    if isinstance(stmt, A.Seq):
+        items = list(stmt.items)
+        items[index] = child
+        return A.Seq(items)
+    if isinstance(stmt, A.Par):
+        branches = list(stmt.branches)
+        branches[index] = child
+        return A.Par(branches)
+    if isinstance(stmt, A.If):
+        if index == 0:
+            return A.If(stmt.test, child, stmt.orelse)
+        return A.If(stmt.test, stmt.then, child)
+    if isinstance(stmt, A.Abort):
+        return A.Abort(stmt.delay, child)
+    if isinstance(stmt, A.WeakAbort):
+        return A.WeakAbort(stmt.delay, child)
+    if isinstance(stmt, A.Suspend):
+        return A.Suspend(stmt.delay, child)
+    if isinstance(stmt, A.Every):
+        return A.Every(stmt.delay, child)
+    if isinstance(stmt, A.Loop):
+        return A.Loop(child)
+    if isinstance(stmt, A.DoEvery):
+        return A.DoEvery(child, stmt.delay)
+    if isinstance(stmt, A.Trap):
+        return A.Trap(stmt.label, child)
+    if isinstance(stmt, A.Local):
+        return A.Local(stmt.decls, child)
+    raise AssertionError(type(stmt).__name__)
+
+
+def _local_candidates(stmt: A.Stmt) -> List[A.Stmt]:
+    """Smaller statements that could replace ``stmt`` wholesale."""
+    out: List[A.Stmt] = []
+    if not isinstance(stmt, A.Nothing):
+        out.append(A.Nothing())
+    if isinstance(stmt, A.Seq) and len(stmt.items) > 2:
+        for drop in range(len(stmt.items)):
+            out.append(A.Seq([s for i, s in enumerate(stmt.items) if i != drop]))
+    if isinstance(stmt, A.Par) and len(stmt.branches) > 2:
+        for drop in range(len(stmt.branches)):
+            out.append(
+                A.Par([s for i, s in enumerate(stmt.branches) if i != drop])
+            )
+    # unwrap: the node's own children (invalid ones — a break escaping
+    # its trap, a local body using an undeclared signal — fail to
+    # compile and are rejected by the predicate)
+    out.extend(_children(stmt))
+    return out
+
+
+def _variants(stmt: A.Stmt):
+    """All one-step smaller whole trees, outermost first."""
+    for candidate in _local_candidates(stmt):
+        yield candidate
+    for index, child in enumerate(_children(stmt)):
+        for variant in _variants(child):
+            yield _rebuild(stmt, index, variant)
+
+
+# ---------------------------------------------------------------------------
+# the shrink loop
+# ---------------------------------------------------------------------------
+
+
+def _run_names(stmt: A.Stmt) -> set:
+    names = set()
+    if isinstance(stmt, A.Run):
+        module = stmt.module
+        names.add(module if isinstance(module, str) else module.name)
+    for child in stmt.children():
+        names |= _run_names(child)
+    return names
+
+
+def _prune_workers(program: FuzzProgram) -> FuzzProgram:
+    """Drop worker modules no remaining ``run`` references (workers may
+    reference each other, so keep the transitive closure from main)."""
+    keep = _run_names(program.main.body)
+    changed = True
+    while changed:
+        changed = False
+        for module in program.modules[:-1]:
+            if module.name in keep:
+                extra = _run_names(module.body) - keep
+                if extra:
+                    keep |= extra
+                    changed = True
+    modules = [m for m in program.modules[:-1] if m.name in keep]
+    return FuzzProgram(modules + [program.main], program.pure)
+
+
+def _ddmin_ops(
+    plan: Dict[str, Any],
+    predicate: Callable[[FuzzProgram, Dict[str, Any]], bool],
+    program: FuzzProgram,
+    budget: ShrinkBudget,
+) -> Dict[str, Any]:
+    ops = list(plan["ops"])
+    chunk = max(1, len(ops) // 2)
+    while chunk >= 1:
+        index = 0
+        while index < len(ops) and len(ops) > 1:
+            candidate = ops[:index] + ops[index + chunk :]
+            if not candidate:
+                index += chunk
+                continue
+            if not budget.spend():
+                plan = dict(plan, ops=ops)
+                return plan
+            if predicate(program, dict(plan, ops=candidate)):
+                ops = candidate
+            else:
+                index += chunk
+        if chunk == 1:
+            break
+        chunk = max(1, chunk // 2)
+    return dict(plan, ops=ops)
+
+
+def _shrink_body(
+    program: FuzzProgram,
+    plan: Dict[str, Any],
+    predicate: Callable[[FuzzProgram, Dict[str, Any]], bool],
+    budget: ShrinkBudget,
+) -> FuzzProgram:
+    improved = True
+    while improved:
+        improved = False
+        # main body first, then each worker body
+        for slot in range(len(program.modules) - 1, -1, -1):
+            module = program.modules[slot]
+            for variant in _variants(module.body):
+                if not budget.spend():
+                    return program
+                rebuilt = A.Module(
+                    module.name,
+                    list(module.interface),
+                    variant,
+                    variables=tuple(module.variables),
+                )
+                modules = list(program.modules)
+                modules[slot] = rebuilt
+                candidate = FuzzProgram(modules, program.pure)
+                if predicate(candidate, plan):
+                    program = _prune_workers(candidate)
+                    improved = True
+                    break
+            if improved:
+                break
+    return program
+
+
+def _shrink_inputs(
+    program: FuzzProgram,
+    plan: Dict[str, Any],
+    predicate: Callable[[FuzzProgram, Dict[str, Any]], bool],
+    budget: ShrinkBudget,
+) -> Dict[str, Any]:
+    ops = [list(op) for op in plan["ops"]]
+    for position, op in enumerate(ops):
+        payload_at = next(
+            (i for i, part in enumerate(op) if isinstance(part, dict)), None
+        )
+        if payload_at is None:
+            continue
+        for key in sorted(op[payload_at]):
+            smaller = {k: v for k, v in op[payload_at].items() if k != key}
+            candidate_op = list(op)
+            candidate_op[payload_at] = smaller
+            candidate_ops = [
+                candidate_op if i == position else other
+                for i, other in enumerate(ops)
+            ]
+            if not budget.spend():
+                return dict(plan, ops=ops)
+            if predicate(program, dict(plan, ops=candidate_ops)):
+                ops = [list(o) for o in candidate_ops]
+                op = list(candidate_op)
+    return dict(plan, ops=ops)
+
+
+def shrink_case(
+    program: FuzzProgram,
+    plan: Dict[str, Any],
+    predicate: Callable[[FuzzProgram, Dict[str, Any]], bool],
+    max_checks: int = 400,
+) -> Tuple[FuzzProgram, Dict[str, Any]]:
+    """Minimize a failing case.  ``predicate(program, plan)`` must return
+    True exactly when the case still exhibits the failure (and False for
+    cases that fail differently or not at all)."""
+    budget = ShrinkBudget(max_checks)
+    plan = _ddmin_ops(plan, predicate, program, budget)
+    program = _shrink_body(program, plan, predicate, budget)
+    plan = _ddmin_ops(plan, predicate, program, budget)
+    plan = _shrink_inputs(program, plan, predicate, budget)
+    return program, plan

@@ -22,8 +22,8 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import CausalityError, ReactionBudgetExceeded
-from repro.compiler.netlist import ACTION, AND, EXPR, OR, Net
+from repro.errors import ReactionBudgetExceeded
+from repro.compiler.netlist import ACTION, AND, EXPR, OR, Net, causality_error
 from repro.compiler.plan import (
     KIND_ACTION,
     KIND_AND,
@@ -216,13 +216,7 @@ class LevelizedScheduler:
         all_ids = range(len(self.circuit.nets))
         while self._relax_pass(all_ids):
             pass
-        values = self.values
-        unresolved = [net for net in self.circuit.nets if values[net.id] is UNKNOWN]
-        raise CausalityError(
-            f"synchronous deadlock in {self.circuit.name}: the reaction "
-            f"left {len(unresolved)} net(s) undefined (causality cycle)",
-            [net.describe() for net in unresolved[:12]],
-        )
+        raise causality_error(self.circuit, self.values)
 
 
 class SparseScheduler(LevelizedScheduler):
@@ -336,6 +330,9 @@ class SparseScheduler(LevelizedScheduler):
     def clear_state(self) -> None:
         super().clear_state()
         self._need_full = True
+        # Defensive: no queued marker may survive a reset/restore — a
+        # stale one would exclude its net from incremental reactions.
+        self._queued[:] = bytes(len(self._queued))
 
     # ------------------------------------------------------------------
 
@@ -438,6 +435,12 @@ class SparseScheduler(LevelizedScheduler):
                     )
                     break
                 _, i = heappop(heap)
+                # On the dirty list *before* evaluation: a payload that
+                # raises mid-evaluation (crash injection, host error)
+                # must still have this net's queued marker cleared by the
+                # finally below, or it stays silently excluded from every
+                # later incremental reaction.
+                dirty_order.append(i)
                 old = values[i]
                 kind = kind_code[i]
                 if kind == KIND_OR:
@@ -469,7 +472,6 @@ class SparseScheduler(LevelizedScheduler):
                         new = False
                         hot.discard(i)
                 values[i] = new
-                dirty_order.append(i)
                 if new != old:
                     for j in range(fanout_index[i], fanout_index[i + 1]):
                         succ = fanout_ids[j]

@@ -26,12 +26,29 @@ supervised retry.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import warnings
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import MachineError
+
+
+def record_checksum(record: Dict[str, Any]) -> str:
+    """Content checksum of one journal record: sha256 (truncated to 16
+    hex chars) over the canonical JSON of everything except the ``sum``
+    field.  Written with every :class:`FileJournal` record and verified
+    on load, so bit-rotted records are detected instead of deserialized
+    into a replay that silently diverges."""
+    body = {key: value for key, value in record.items() if key != "sum"}
+    data = json.dumps(body, sort_keys=True, default=repr)
+    return hashlib.sha256(data.encode("utf-8")).hexdigest()[:16]
+
+
+def _seal(record: Dict[str, Any]) -> str:
+    record["sum"] = record_checksum(record)
+    return json.dumps(record)
 
 
 class TornJournalWarning(UserWarning):
@@ -206,6 +223,16 @@ class FileJournal(MemoryJournal):
                 if stripped:
                     try:
                         record = json.loads(stripped)
+                        recorded_sum = record.pop("sum", None)
+                        if (
+                            recorded_sum is not None
+                            and record_checksum(record) != recorded_sum
+                        ):
+                            raise ValueError(
+                                f"record checksum mismatch (recorded "
+                                f"{recorded_sum!r}, content hashes to "
+                                f"{record_checksum(record)!r})"
+                            )
                         if "commit" in record and "seq" not in record:
                             MemoryJournal.commit(self, int(record["commit"]))
                         else:
@@ -250,20 +277,20 @@ class FileJournal(MemoryJournal):
 
     def append(self, entry: JournalEntry) -> None:
         super().append(entry)
-        self._fh.write(json.dumps(entry.to_json()) + "\n")
+        self._fh.write(_seal(entry.to_json()) + "\n")
         self._sync()
 
     def commit(self, seq: int) -> None:
         super().commit(seq)
         # append-only commit record; compaction happens on rewrite
-        self._fh.write(json.dumps({"commit": seq}) + "\n")
+        self._fh.write(_seal({"commit": seq}) + "\n")
         self._sync()
 
     def _rewrite(self) -> None:
         self._fh.close()
         with open(self.path, "w", encoding="utf-8") as fh:
             for entry in self._entries:
-                fh.write(json.dumps(entry.to_json()) + "\n")
+                fh.write(_seal(entry.to_json()) + "\n")
             if self.fsync:
                 fh.flush()
                 os.fsync(fh.fileno())

@@ -59,6 +59,19 @@ AUTO_BUDGET_SWEEPS = 64
 #: version tag of the :meth:`ReactiveMachine.snapshot` payload layout
 SNAPSHOT_FORMAT = 1
 
+
+def snapshot_checksum(payload: Mapping) -> str:
+    """Content checksum of a snapshot payload: sha256 over the canonical
+    JSON rendering of everything except the ``checksum`` field itself.
+
+    Computed over the JSON form (``sort_keys``, tuples collapse to
+    lists, non-JSON values render through ``repr``), so the checksum is
+    stable across a JSON round-trip to disk or over a pipe — the
+    transports snapshots actually cross."""
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    data = json.dumps(body, sort_keys=True, default=repr)
+    return hashlib.sha256(data.encode("utf-8")).hexdigest()
+
 #: Below this circuit size the compiled full sweep is cheaper than the
 #: sparse mode's per-reaction bookkeeping (heap, dirty sets, incremental
 #: statuses), so ``auto`` keeps small machines on the levelized backend.
@@ -851,7 +864,7 @@ class ReactiveMachine:
                     ),
                 }
             )
-        return {
+        snap = {
             "format": SNAPSHOT_FORMAT,
             "fingerprint": self.compiled.fingerprint,
             "module": self.name,
@@ -865,6 +878,8 @@ class ReactiveMachine:
             "terminated": self.terminated,
             "reaction_count": self.reaction_count,
         }
+        snap["checksum"] = snapshot_checksum(snap)
+        return snap
 
     def state_digest(self) -> str:
         """A sha256 over the canonical JSON rendering of
@@ -906,6 +921,16 @@ class ReactiveMachine:
                 f"this machine is {self.name!r} with fingerprint "
                 f"{self.compiled.fingerprint!r}"
             )
+        recorded = snap.get("checksum")
+        if recorded is not None:
+            computed = snapshot_checksum(snap)
+            if computed != recorded:
+                raise SnapshotError(
+                    f"snapshot checksum mismatch for {snap.get('module')!r}: "
+                    f"payload recorded {recorded[:16]}..., content hashes to "
+                    f"{computed[:16]}... — the snapshot is corrupt "
+                    "(bit rot or a tampered field)"
+                )
         registers = snap["registers"]
         signals = snap["signals"]
         counters = snap["counters"]

@@ -316,4 +316,9 @@ def migrate_snapshot(
     report.dropped.extend(f"/:frame:{name}#0" for name in frame_from)
     migrated["frame"] = frame_out
 
+    # The migrated payload was assembled field by field, so the checksum
+    # inherited from the boot snapshot no longer covers it: re-seal.
+    from repro.runtime.machine import snapshot_checksum
+
+    migrated["checksum"] = snapshot_checksum(migrated)
     return migrated, report

@@ -265,7 +265,11 @@ class MachineSupervisor:
         # with post-boot state and start reacting at the next instant
         # (a branch grafted into a running parallel can never re-receive
         # the boot pulse the old program already consumed).
-        probe = ReactiveMachine(machine.compiled)
+        # The probe must resolve the same textual combine functions (and
+        # host expressions) as the target, so it borrows its host scope.
+        probe = ReactiveMachine(
+            machine.compiled, host_globals=machine.host_globals
+        )
         probe.react({})
         migrated, report = migrate_snapshot(
             snap, desc_from, desc_to, boot, probe.snapshot()

@@ -27,8 +27,17 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import CausalityError, ReactionBudgetExceeded
-from repro.compiler.netlist import AND, EXPR, INPUT, OR, REG, Circuit, Net
+from repro.errors import ReactionBudgetExceeded
+from repro.compiler.netlist import (
+    AND,
+    EXPR,
+    INPUT,
+    OR,
+    REG,
+    Circuit,
+    Net,
+    causality_error,
+)
 
 UNKNOWN = None
 
@@ -199,13 +208,10 @@ class Scheduler:
         self.last_evaluated = evaluated
 
         # 4. completeness check: constructive programs stabilize fully.
-        unresolved = [net for net in nets if values[net.id] is UNKNOWN]
-        if unresolved:
-            raise CausalityError(
-                f"synchronous deadlock in {self.circuit.name}: the reaction "
-                f"left {len(unresolved)} net(s) undefined (causality cycle)",
-                [net.describe() for net in unresolved[:12]],
-            )
+        # The error is built by the shared normalized constructor so its
+        # message and net list are byte-identical across backends.
+        if any(values[net.id] is UNKNOWN for net in nets):
+            raise causality_error(self.circuit, values)
 
         # 5. latch registers.
         for i, reg in enumerate(self._registers):

@@ -255,6 +255,19 @@ class ShardWorker:
         if self._spare is None:
             self._spare = self.fleet.build_machine()
 
+    def close(self) -> None:
+        """Release the shard's file handles (effects log and member
+        journals).  The child-process path exits via ``os._exit`` and
+        doesn't strictly need this, but in-process users (tests, embedded
+        shards) must not leak descriptors."""
+        for supervisor in self.supervisors.values():
+            try:
+                supervisor.journal.close()
+            except Exception:
+                pass
+        if not self._effects_fh.closed:
+            self._effects_fh.close()
+
     def _take_spare(self) -> Optional[Any]:
         machine, self._spare = self._spare, None
         return machine
@@ -587,6 +600,7 @@ def worker_main(
         except OSError:
             pass
     chan = Channel(recv_fd, send_fd)
+    shard = None
     try:
         try:
             shard = ShardWorker(config)
@@ -626,4 +640,9 @@ def worker_main(
     except (BrokenPipeError, EOFError):
         return
     finally:
+        if shard is not None:
+            try:
+                shard.close()
+            except Exception:
+                pass
         os._exit(0)

@@ -948,7 +948,10 @@ class TestTornTailRecovery:
         path.write_bytes(raw[: len(raw) - 9])  # tear the final append
 
         recovered = ReactiveMachine(module)
-        journal = FileJournal(str(path))
+        from repro.runtime.journal import TornJournalWarning
+
+        with pytest.warns(TornJournalWarning):
+            journal = FileJournal(str(path))
         assert journal.torn_tail is not None
         recovered.restore(sup.last_checkpoint)
         recovered.replay(journal.entries(snap_at))

@@ -101,6 +101,8 @@ class TestShardWorkerInProcess:
             got = worker_b.react(7, dict(inputs))
             assert got["emitted"] == dict(oracle.react(dict(inputs)))
         assert worker_b.digest(7) == oracle.state_digest()
+        worker_a.close()
+        worker_b.close()
 
     def test_extract_ships_mailbox_backlog(self, tmp_path):
         module = participant_module()
@@ -112,6 +114,7 @@ class TestShardWorkerInProcess:
         assert shipped["pending"] == [{"select": True, "grant": True}] or len(
             shipped["pending"]
         ) == 2  # coalesce policy may have merged the backlog
+        worker.close()
 
     def test_unknown_member_raises(self, tmp_path):
         worker = ShardWorker(
@@ -119,6 +122,7 @@ class TestShardWorkerInProcess:
         )
         with pytest.raises(ShardError):
             worker.extract(42)
+        worker.close()
 
 
 # ---------------------------------------------------------------------------
